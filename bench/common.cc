@@ -1,0 +1,104 @@
+#include "bench/common.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pade {
+namespace bench {
+
+OperatingPoints
+calibratePoints(SimRequest req)
+{
+    req.radius = kCalibRadius;
+    OperatingPoints pts;
+    pts.alpha_standard = calibrateAlpha(req, kStandardMass);
+    pts.alpha_aggressive = calibrateAlpha(req, kAggressiveMass);
+    return pts;
+}
+
+AttentionHead
+calibrationHead(const SimRequest &req, int cap)
+{
+    WorkloadSpec spec = WorkloadSpec::fromPresets(
+        req.model, req.dataset, 8, req.seed);
+    spec.seq_len = std::min(req.dataset.seq_len, cap);
+    spec.qat_uniform = req.qat;
+    return generateHead(spec);
+}
+
+BaselineKeeps
+calibrateBaselines(const SimRequest &req, double target_mass, int cap)
+{
+    const AttentionHead head = calibrationHead(req, cap);
+    const int s = head.k.rows();
+    BaselineKeeps keeps;
+
+    keeps.sanger = lowBitMask(
+        head, 4,
+        calibrateKnob([&head](double m) { return lowBitMask(head, 4,
+                                                            m); },
+                      target_mass, 0.0, 25.0)).keep_rate;
+    keeps.dota = lowRankMask(
+        head, 16,
+        calibrateKnob([&head](double m) { return lowRankMask(head, 16,
+                                                             m); },
+                      target_mass, 0.0, 25.0)).keep_rate;
+    keeps.energon = progressiveMask(
+        head, 0.5,
+        calibrateKnob([&head](double m) {
+            return progressiveMask(head, 0.5, m);
+        }, target_mass, 0.0, 25.0)).keep_rate;
+    // Un-finetuned prev-layer guidance correlates weakly with the
+    // current layer: noise comparable to the logit spread. Finetuning
+    // restores a tight estimate.
+    constexpr double kNoFtSigma = 8.0;
+    constexpr double kFtSigma = 1.0;
+    keeps.spatten = noisyTopkMask(
+        head, static_cast<int>(calibrateKnob([&head, s](double k) {
+            return noisyTopkMask(head, std::max(1, static_cast<int>(k)),
+                                 kNoFtSigma);
+        }, target_mass, 1.0, s)), kNoFtSigma).keep_rate;
+    keeps.spatten_ft = noisyTopkMask(
+        head, static_cast<int>(calibrateKnob([&head, s](double k) {
+            return noisyTopkMask(head, std::max(1, static_cast<int>(k)),
+                                 kFtSigma);
+        }, target_mass, 1.0, s)), kFtSigma).keep_rate;
+    keeps.sofa = logDomainTopkMask(
+        head, static_cast<int>(calibrateKnob([&head, s](double k) {
+            return logDomainTopkMask(head,
+                                     std::max(1,
+                                              static_cast<int>(k)));
+        }, target_mass, 1.0, s))).keep_rate;
+    return keeps;
+}
+
+SimOutcome
+runPade(const ArchConfig &cfg, SimRequest req, double alpha)
+{
+    req.alpha = alpha;
+    req.radius = kCalibRadius;
+    return simulatePade(cfg, req);
+}
+
+AttentionDims
+blockDims(const SimRequest &req, int sim_seq)
+{
+    AttentionDims d;
+    d.p = req.decode ? 1 : 8;
+    d.s = std::min(req.dataset.seq_len, sim_seq);
+    d.h = req.model.head_dim;
+    d.exec_bits = req.bits;
+    return d;
+}
+
+void
+banner(const std::string &title)
+{
+    std::printf("\n================================================\n"
+                "%s\n"
+                "================================================\n",
+                title.c_str());
+}
+
+} // namespace bench
+} // namespace pade

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared helpers for the figure/table bench harnesses: standard
+ * operating points (the paper's "standard" ~0%-loss and "aggressive"
+ * ~1%-loss configurations), per-baseline keep-rate calibration at
+ * matched accuracy, and common run wrappers.
+ *
+ * Conventions used by every bench:
+ *  - retained-softmax-mass targets: standard = 0.995, aggressive =
+ *    0.98 (see EXPERIMENTS.md for the task-score mapping);
+ *  - long sequences are simulated at a cap and scaled linearly
+ *    (SimRequest::max_sim_seq), printed alongside the results;
+ *  - calibration uses a guard radius of 10 logits so alpha in [0, 1]
+ *    spans both operating points.
+ */
+
+#ifndef PADE_BENCH_COMMON_H
+#define PADE_BENCH_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "arch/driver.h"
+#include "baselines/accelerators.h"
+#include "baselines/gpu_model.h"
+#include "baselines/predictors.h"
+#include "common/cli.h"
+#include "common/math_util.h"
+#include "common/table.h"
+
+namespace pade {
+namespace bench {
+
+/**
+ * Retained-mass targets of the two operating points. The standard
+ * point maps to a ~0.5% task-score delta under the metrics.h mapping
+ * (between the paper's "0%" and "1%" rows); calibrated margins land
+ * in the paper's default guard-band class (alpha*radius ~ 2.5-5
+ * logits). See EXPERIMENTS.md.
+ */
+constexpr double kStandardMass = 0.99;
+constexpr double kAggressiveMass = 0.95;
+constexpr double kCalibRadius = 10.0;
+
+/** PADE operating points for one workload. */
+struct OperatingPoints
+{
+    double alpha_standard = 1.0;
+    double alpha_aggressive = 0.5;
+};
+
+/** Calibrate both operating points for a request. */
+OperatingPoints calibratePoints(SimRequest req);
+
+/** Per-baseline keep rates calibrated to a retained-mass target. */
+struct BaselineKeeps
+{
+    double sanger = 1.0;
+    double dota = 1.0;
+    double energon = 1.0;
+    double spatten = 1.0;       //!< w/o finetune (noisy guidance)
+    double spatten_ft = 1.0;    //!< finetuned
+    double sofa = 1.0;
+};
+
+/**
+ * Calibrate every baseline's mechanism on the same workload head.
+ * @param cap keys used for calibration (costly masks are quadratic)
+ */
+BaselineKeeps calibrateBaselines(const SimRequest &req,
+                                 double target_mass, int cap = 2048);
+
+/** Build a calibration head (capped sequence) for a request. */
+AttentionHead calibrationHead(const SimRequest &req, int cap);
+
+/** Run PADE at an operating point; returns full-model totals. */
+SimOutcome runPade(const ArchConfig &cfg, SimRequest req, double alpha);
+
+/** Analytic block dims matching a request's simulated block. */
+AttentionDims blockDims(const SimRequest &req, int sim_seq);
+
+/** Convenience stdout header for a bench. */
+void banner(const std::string &title);
+
+} // namespace bench
+} // namespace pade
+
+#endif // PADE_BENCH_COMMON_H

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Paper Fig. 2: the predictor-overhead motivation.
+ *
+ * (a) Power breakdown of dense attention vs Sanger vs SOFA as the
+ *     executor bit-width shrinks from 16 to 8 bits (Llama2-7B, S=2k):
+ *     the predictor share grows as the executor gets cheaper.
+ * (b) Predictor/executor power ratio versus sequence length at an
+ *     8-bit executor: longer sequences are sparser, so the (keep-
+ *     independent) predictor dominates more.
+ */
+
+#include "bench/common.h"
+
+using namespace pade;
+using namespace pade::bench;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    banner("Fig. 2(a): power breakdown vs executor bit-width "
+           "(Llama2-7B, Wikitext2 S=2k, 0%-loss operating points)");
+
+    SimRequest req{llama2_7b(), dsWikitext2()};
+    req.seed = cli.getInt("seed", 1);
+    const BaselineKeeps keeps = calibrateBaselines(req, kStandardMass);
+
+    Table ta("normalized power (dense @16b = 1.0); predictor share in "
+             "parentheses");
+    ta.header({"exec bits", "Dense", "Sanger", "SOFA",
+               "Sanger pred%", "SOFA pred%"});
+
+    const int sim_seq = 2048;
+    double dense16 = 0.0;
+    for (int bits : {16, 12, 8}) {
+        AttentionDims d = blockDims(req, sim_seq);
+        d.exec_bits = bits;
+        const BaselineOutcome dense = denseAccelRun(d);
+        const BaselineOutcome sanger = sangerRun(d, keeps.sanger);
+        const BaselineOutcome sofa = sofaRun(d, keeps.sofa);
+        // Power = energy / time; normalize energies at equal work.
+        if (bits == 16)
+            dense16 = dense.metrics.energy.total();
+        auto norm = [dense16](const BaselineOutcome &b) {
+            return b.metrics.energy.total() / dense16;
+        };
+        auto pred_share = [](const BaselineOutcome &b) {
+            return b.predictor_pj / (b.predictor_pj + b.executor_pj);
+        };
+        ta.row({std::to_string(bits), Table::num(norm(dense), 3),
+                Table::num(norm(sanger), 3), Table::num(norm(sofa), 3),
+                Table::pct(pred_share(sanger)),
+                Table::pct(pred_share(sofa))});
+    }
+    ta.print();
+
+    banner("Fig. 2(b): predictor/executor power ratio vs sequence "
+           "length (8-bit executor)");
+    Table tb;
+    tb.header({"SL", "Sanger ratio", "SOFA ratio", "Sanger keep",
+               "SOFA keep"});
+    for (int sl : {1024, 2048, 4096, 8192}) {
+        SimRequest r = req;
+        r.dataset.seq_len = sl;
+        const BaselineKeeps k = calibrateBaselines(r, kStandardMass,
+                                                   sl);
+        AttentionDims d = blockDims(r, sl);
+        const BaselineOutcome sanger = sangerRun(d, k.sanger);
+        const BaselineOutcome sofa = sofaRun(d, k.sofa);
+        tb.row({std::to_string(sl),
+                Table::num(sanger.predictor_pj / sanger.executor_pj,
+                           2),
+                Table::num(sofa.predictor_pj / sofa.executor_pj, 2),
+                Table::pct(k.sanger), Table::pct(k.sofa)});
+    }
+    tb.print();
+    return 0;
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Paper Fig. 15: comparison with software sparse-attention methods.
+ *
+ * (a)(b) Accuracy versus "sparsity level" (the ratio of sparse
+ * execution cost — prediction + computation — to dense execution) for
+ * StreamingLLM, MInference-style, DoubleSparsity-style, SpAtten /
+ * DTATrans-style guidance, and PADE, on Dolly (15k) and InfiniteBench
+ * (214k, simulated at a cap and scaled).
+ *
+ * (c) Latency / energy-efficiency gain of PADE (hardware) over the
+ * software methods running on the H100 model at matched 1% loss.
+ */
+
+#include <functional>
+
+#include "attention/metrics.h"
+#include "attention/reference.h"
+#include "bench/common.h"
+
+using namespace pade;
+using namespace pade::bench;
+
+namespace {
+
+struct MethodPoint
+{
+    double cost = 1.0;  //!< sparse/dense execution-cost ratio
+    double mass = 1.0;
+};
+
+/** Cost model: predictor fraction + kept execution fraction. */
+double
+costRatio(double pred_frac, double keep)
+{
+    return std::min(1.0, pred_frac + keep);
+}
+
+/** Tune a knob so the method's cost ratio hits `level`. */
+MethodPoint
+atLevel(const std::function<MethodPoint(double)> &fn, double level,
+        double lo, double hi)
+{
+    for (int i = 0; i < 12; i++) {
+        const double mid = 0.5 * (lo + hi);
+        if (fn(mid).cost > level)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return fn(0.5 * (lo + hi));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    const int cap = static_cast<int>(cli.getInt("cap", 8192));
+
+    for (const DatasetConfig &ds : {dsDolly(), dsInfiniteBench()}) {
+        banner("Fig. 15(a/b): relative score vs sparsity level — " +
+               ds.name);
+        SimRequest req{llama2_7b(), ds};
+        req.seed = cli.getInt("seed", 2);
+        req.max_sim_seq = cap;
+        const AttentionHead head = calibrationHead(req, cap);
+        const int s = head.k.rows();
+
+        auto streaming = [&](double keep) {
+            const int w = std::max(1, static_cast<int>(keep * s) - 4);
+            const MaskOutcome m = streamingLlmMask(head, 4, w);
+            return MethodPoint{costRatio(0.0, m.keep_rate),
+                               m.retained_mass};
+        };
+        auto minfer = [&](double frac) {
+            const MaskOutcome m = minferenceMask(head, 4, 64, frac);
+            return MethodPoint{costRatio(1.0 / 16.0, m.keep_rate),
+                               m.retained_mass};
+        };
+        auto dsparse = [&](double kfrac) {
+            const int k = std::max(1, static_cast<int>(kfrac * s));
+            const MaskOutcome m = doubleSparsityMask(head, 16, k);
+            return MethodPoint{costRatio(16.0 / head.q.cols(),
+                                         m.keep_rate),
+                               m.retained_mass};
+        };
+        auto spatten = [&](double kfrac) {
+            const int k = std::max(1, static_cast<int>(kfrac * s));
+            const MaskOutcome m = noisyTopkMask(head, k, 2.0);
+            return MethodPoint{costRatio(0.0, m.keep_rate),
+                               m.retained_mass};
+        };
+        auto pade_fn = [&](double alpha) {
+            const QuantizedHead qh = quantizeHead(head);
+            PadeConfig cfg;
+            cfg.alpha = alpha;
+            cfg.radius = kCalibRadius;
+            const PadeResult res = padeAttention(qh, cfg);
+            const MatrixF logits = attentionLogits(head.q, head.k,
+                                                   head.scale);
+            const double qk_cost =
+                static_cast<double>(res.stats.planes_processed) /
+                std::max<uint64_t>(res.stats.planes_total, 1);
+            const double cost = 0.5 * (qk_cost +
+                                       res.stats.keepRate());
+            return MethodPoint{cost, retainedMass(logits, res.keep)};
+        };
+
+        Table t("relative task score (x1000) at each sparsity level");
+        t.header({"level", "StrLLM", "MInfer", "DblSparse", "SpAtten",
+                  "PADE"});
+        for (double level : {1.0, 0.5, 0.25, 0.125, 0.0625}) {
+            auto score = [](const MethodPoint &p) {
+                return Table::num(1000.0 * taskScoreFromMass(p.mass),
+                                  0);
+            };
+            const MethodPoint m_str = atLevel(streaming, level, 1e-4,
+                                              1.0);
+            const MethodPoint m_min = atLevel(minfer, level, 1e-3,
+                                              1.0);
+            const MethodPoint m_dbl = atLevel(dsparse, level, 1e-4,
+                                              1.0);
+            const MethodPoint m_spa = atLevel(spatten, level, 1e-4,
+                                              1.0);
+            // PADE's bit-serial cost has a floor (the guard needs a
+            // few planes before intervals tighten); below it, PADE
+            // simply operates at its floor with undiminished accuracy.
+            const MethodPoint pade_floor = pade_fn(0.0);
+            const MethodPoint m_pad = level <= pade_floor.cost ?
+                pade_floor : atLevel(pade_fn, level, 0.0, 1.0);
+            const std::string pad_cell = score(m_pad) +
+                (level < pade_floor.cost ? "*" : "");
+            t.row({Table::num(level, 4), score(m_str), score(m_min),
+                   score(m_dbl), score(m_spa), pad_cell});
+        }
+        t.print();
+        std::printf("* PADE cost floor reached (~%.2f): bit-serial "
+                    "speculation needs a few planes per key; accuracy "
+                    "does not degrade further.\n",
+                    pade_fn(0.0).cost);
+    }
+
+    banner("Fig. 15(c): PADE (hardware) vs software methods on the "
+           "GPU at ~1% loss");
+    Table tc;
+    tc.header({"dataset", "method", "latency gain", "energy gain"});
+    for (const DatasetConfig &ds :
+         {dsDolly(), dsPg19(), dsInfiniteBench()}) {
+        SimRequest req{llama2_7b(), ds};
+        req.seed = cli.getInt("seed", 2);
+        req.max_sim_seq = cap;
+        const OperatingPoints pts = calibratePoints(req);
+        const SimOutcome pade = runPade(ArchConfig{}, req,
+                                        pts.alpha_aggressive);
+
+        // Software methods on the GPU (keeps calibrated at 1% loss).
+        const AttentionHead head = calibrationHead(req,
+                                                   std::min(cap,
+                                                            4096));
+        const int s = head.k.rows();
+        struct Sw
+        {
+            const char *name;
+            double keep;
+            double pred_frac;
+        };
+        const double k_str = atLevel(
+            [&](double k) {
+                const int w = std::max(1, static_cast<int>(k * s));
+                const MaskOutcome m = streamingLlmMask(head, 4, w);
+                return MethodPoint{m.keep_rate, m.retained_mass};
+            },
+            1.0, 1e-4, 1.0).cost; // full range; pick mass>=target below
+        (void)k_str;
+        auto keepFor = [&](auto fn) {
+            const double knob = calibrateKnob(fn, kAggressiveMass,
+                                              1e-4, 1.0);
+            return fn(knob).keep_rate;
+        };
+        const std::vector<Sw> sws = {
+            {"StreamingLLM",
+             keepFor([&](double k) {
+                 return streamingLlmMask(
+                     head, 4, std::max(1, static_cast<int>(k * s)));
+             }),
+             0.0},
+            {"MInference",
+             keepFor([&](double f) {
+                 return minferenceMask(head, 4, 64, std::max(f,
+                                                             1e-3));
+             }),
+             1.0 / 16.0},
+            {"DoubleSparsity",
+             keepFor([&](double k) {
+                 return doubleSparsityMask(
+                     head, 16,
+                     std::max(1, static_cast<int>(k * s)));
+             }),
+             16.0 / head.q.cols()},
+        };
+
+        for (const auto &sw : sws) {
+            GpuOptions opt;
+            opt.keep_rate = sw.keep;
+            opt.predictor_pass_frac = sw.pred_frac;
+            const RunMetrics gpu = gpuModelAttention(req.model, ds,
+                                                     opt);
+            tc.row({ds.name, sw.name,
+                    Table::mult(gpu.time_ns / pade.total.time_ns, 1),
+                    Table::mult(pade.total.gopsPerW() /
+                                std::max(gpu.gopsPerW(), 1e-9), 1)});
+        }
+    }
+    tc.print();
+    std::printf("Paper: PADE averages 5.2x speedup and 10.4x energy "
+                "efficiency over the software methods; gains grow "
+                "with sequence length.\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Paper Fig. 17 design-space exploration:
+ * (a) GSAT sub-group size versus normalized area & power (optimum at
+ *     8);
+ * (b) PE utilization versus scoreboard entries under 95/90/85%
+ *     sparsity (saturation at ~32 entries).
+ */
+
+#include "bench/common.h"
+#include "energy/area_model.h"
+
+using namespace pade;
+using namespace pade::bench;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    banner("Fig. 17(a): GSAT sub-group size DSE (normalized to the "
+           "optimum)");
+
+    const double best = gsatCost(64, 8).area_mm2;
+    const double best_p = gsatCost(64, 8).power_mw;
+    Table ta;
+    ta.header({"sub-group", "norm area", "norm power"});
+    for (int g : {2, 4, 8, 16, 32, 64}) {
+        const GsatCost c = gsatCost(64, g);
+        ta.row({std::to_string(g), Table::num(c.area_mm2 / best, 2),
+                Table::num(c.power_mw / best_p, 2)});
+    }
+    ta.print();
+    std::printf("optimal point: sub-group size 8 (paper Fig. 17(a))\n");
+
+    banner("Fig. 17(b): PE utilization vs scoreboard entries under "
+           "sparsity");
+    Table tb;
+    tb.header({"entries", "95% sparsity", "90% sparsity",
+               "85% sparsity"});
+
+    // Realize target sparsities by adjusting alpha (keep = 1 -
+    // sparsity) on a Llama2/Wiki2 workload.
+    SimRequest req{llama2_7b(), dsWikitext2()};
+    req.seed = cli.getInt("seed", 6);
+    req.max_sim_seq = 2048;
+
+    auto alphaForKeep = [&req](double keep_target) {
+        const AttentionHead head = calibrationHead(req, 2048);
+        const QuantizedHead qh = quantizeHead(head);
+        double lo = 0.0;
+        double hi = 1.0;
+        for (int i = 0; i < 10; i++) {
+            const double mid = 0.5 * (lo + hi);
+            PadeConfig cfg;
+            cfg.alpha = mid;
+            cfg.radius = kCalibRadius;
+            if (padeAttention(qh, cfg).stats.keepRate() > keep_target)
+                hi = mid;
+            else
+                lo = mid;
+        }
+        return 0.5 * (lo + hi);
+    };
+    const double alphas[3] = {alphaForKeep(0.05), alphaForKeep(0.10),
+                              alphaForKeep(0.15)};
+
+    for (int entries : {4, 8, 16, 24, 32, 40}) {
+        std::vector<std::string> row = {std::to_string(entries)};
+        for (double alpha : alphas) {
+            ArchConfig cfg;
+            cfg.scoreboard_entries = entries;
+            const SimOutcome o = runPade(cfg, req, alpha);
+            row.push_back(Table::num(o.block.utilization, 2));
+        }
+        tb.row(row);
+    }
+    tb.print();
+    std::printf("Paper: utilization saturates around 32 entries, the "
+                "adopted configuration.\n");
+    return 0;
+}

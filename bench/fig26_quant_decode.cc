@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Paper Fig. 26:
+ * (a) energy under PTQ/QAT INT8 and INT4 for SOFA (predictor-bound at
+ *     low precision, hurt by QAT's flatter distributions) vs PADE
+ *     (predictor-free, nearly insensitive);
+ * (b) long-sequence decoding energy breakdown at S = 4k/8k/16k, where
+ *     DRAM dominates and SOFA's predictor must stream all keys every
+ *     step.
+ */
+
+#include "bench/common.h"
+
+using namespace pade;
+using namespace pade::bench;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    banner("Fig. 26(a): energy under diverse quantizations "
+           "(normalized to each design's PTQ8)");
+
+    Table ta;
+    ta.header({"config", "SOFA", "PADE", "SOFA keep", "PADE keep"});
+    double sofa_base = 0.0;
+    double pade_base = 0.0;
+    for (const auto &[name, bits, qat] :
+         {std::tuple<const char *, int, bool>{"PTQ8", 8, false},
+          {"QAT8", 8, true},
+          {"PTQ4", 4, false},
+          {"QAT4", 4, true}}) {
+        SimRequest req{llama2_7b(), dsWikitext2()};
+        req.seed = cli.getInt("seed", 14);
+        req.bits = bits;
+        req.qat = qat;
+        req.max_sim_seq = 2048;
+
+        const AttentionHead head = calibrationHead(req, 2048);
+        const int s = head.k.rows();
+        const double k_knob = calibrateKnob(
+            [&head, s](double k) {
+                return logDomainTopkMask(
+                    head, std::max(1, static_cast<int>(k)));
+            },
+            kStandardMass, 1.0, s);
+        const MaskOutcome sofa_mask = logDomainTopkMask(
+            head, static_cast<int>(k_knob));
+        AttentionDims d = blockDims(req, 2048);
+        d.exec_bits = bits;
+        const BaselineOutcome sofa = sofaRun(d, sofa_mask.keep_rate);
+
+        const OperatingPoints pts = calibratePoints(req);
+        const SimOutcome pade = runPade(ArchConfig{}, req,
+                                        pts.alpha_standard);
+
+        const double se = sofa.metrics.energy.total();
+        const double pe = pade.block.energy.total();
+        if (sofa_base == 0.0) {
+            sofa_base = se;
+            pade_base = pe;
+        }
+        ta.row({name, Table::num(se / sofa_base, 2),
+                Table::num(pe / pade_base, 2),
+                Table::pct(sofa_mask.keep_rate),
+                Table::pct(pade.block.prune.keepRate())});
+    }
+    ta.print();
+    std::printf("Paper: QAT costs SOFA ~6%% extra energy (flatter "
+                "distribution defeats its predictor) and PADE almost "
+                "nothing; at 4 bits SOFA's predictor dominates while "
+                "PADE loses only ~2%%.\n");
+
+    banner("Fig. 26(b): long-sequence decoding energy breakdown");
+    Table tb;
+    tb.header({"S", "design", "norm energy", "dram%", "buffer%",
+               "comp%"});
+    double pade4k = 0.0;
+    for (int s : {4096, 8192, 16384}) {
+        SimRequest req{llama2_7b(),
+                       {"decode", s, "longctx", 0.7}};
+        req.seed = cli.getInt("seed", 14);
+        req.decode = true;
+        req.decode_steps = 1;
+        req.max_sim_seq = s;
+        const OperatingPoints pts = calibratePoints(req);
+        const SimOutcome pade = runPade(ArchConfig{}, req,
+                                        pts.alpha_standard);
+
+        const AttentionHead head = calibrationHead(req, 2048);
+        const double k_knob = calibrateKnob(
+            [&head](double k) {
+                return logDomainTopkMask(
+                    head, std::max(1, static_cast<int>(k)));
+            },
+            kStandardMass, 1.0, head.k.rows());
+        const double sofa_keep = logDomainTopkMask(
+            head, static_cast<int>(k_knob)).keep_rate;
+        AttentionDims d;
+        d.p = 1;
+        d.s = s;
+        d.h = req.model.head_dim;
+        const BaselineOutcome sofa = sofaRun(d, sofa_keep);
+
+        if (pade4k == 0.0)
+            pade4k = pade.block.energy.total();
+        auto emit = [&tb, s](const char *name,
+                             const EnergyBreakdown &e, double norm) {
+            tb.row({std::to_string(s), name, Table::num(norm, 2),
+                    Table::pct(e.dram_pj / e.total()),
+                    Table::pct(e.sram_pj / e.total()),
+                    Table::pct(e.compute_pj / e.total())});
+        };
+        emit("PADE", pade.block.energy,
+             pade.block.energy.total() / pade4k / (s / 4096.0));
+        emit("SOFA", sofa.metrics.energy,
+             sofa.metrics.energy.total() / pade4k / (s / 4096.0));
+    }
+    tb.print();
+    std::printf("norm energy is per-key (divided by S/4k): PADE grows "
+                "~5%% from 4k to 16k while SOFA's predictor keeps "
+                "streaming every key (paper: +40%%); DRAM stays "
+                ">85%% of decode energy.\n");
+    return 0;
+}

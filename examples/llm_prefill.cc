@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Whole-model prefill: simulate PADE accelerating the attention of a
+ * full LLM prefill (all layers and heads) and compare against the
+ * dense ASIC and the H100 model — the scenario of the paper's Figs.
+ * 18/21.
+ *
+ *   $ ./llm_prefill [--model Llama2-7B] [--seq 2048]
+ */
+
+#include <cstdio>
+
+#include "bench/common.h"
+
+using namespace pade;
+using namespace pade::bench;
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    const std::string model_name = cli.get("model", "Llama2-7B");
+    const ModelConfig model = modelByName(model_name);
+    DatasetConfig ds = dsWikitext2();
+    ds.seq_len = static_cast<int>(cli.getInt("seq", 2048));
+
+    SimRequest req{model, ds};
+    req.seed = cli.getInt("seed", 1);
+    req.max_sim_seq = 4096;
+
+    std::printf("prefill: %s, S=%d (%d layers x %d heads, GQA=%s)\n",
+                model.name.c_str(), ds.seq_len, model.layers,
+                model.heads, model.isGqa() ? "yes" : "no");
+
+    const OperatingPoints pts = calibratePoints(req);
+    std::printf("calibrated operating points: standard alpha=%.2f, "
+                "aggressive alpha=%.2f (radius %.0f)\n",
+                pts.alpha_standard, pts.alpha_aggressive,
+                kCalibRadius);
+
+    const SimOutcome std_run = runPade(ArchConfig{}, req,
+                                       pts.alpha_standard);
+    const SimOutcome agg_run = runPade(ArchConfig{}, req,
+                                       pts.alpha_aggressive);
+
+    ArchConfig dense_cfg;
+    dense_cfg.enable_guard = false;
+    const SimOutcome dense = runPade(dense_cfg, req, 1.0);
+    const RunMetrics gpu = gpuModelAttention(model, ds, GpuOptions{});
+
+    Table t("whole-model attention totals");
+    t.header({"design", "time (ms)", "energy (mJ)", "DRAM (MB)",
+              "GOPS/W", "mass"});
+    auto emit = [&t](const char *name, const RunMetrics &m,
+                     double mass) {
+        t.row({name, Table::num(m.time_ns * 1e-6, 2),
+               Table::num(m.energy.total() * 1e-9, 2),
+               Table::num(m.dram_bytes / 1048576.0, 1),
+               Table::num(m.gopsPerW(), 0),
+               mass > 0 ? Table::num(mass, 4) : "-"});
+    };
+    emit("H100 (dense)", gpu, -1);
+    emit("Dense ASIC", dense.total, -1);
+    emit("PADE standard", std_run.total, std_run.retained_mass);
+    emit("PADE aggressive", agg_run.total, agg_run.retained_mass);
+    t.print();
+
+    std::printf("PADE standard vs dense ASIC: %.1fx faster, %.1fx "
+                "less energy\n",
+                dense.total.time_ns / std_run.total.time_ns,
+                dense.total.energy.total() /
+                std_run.total.energy.total());
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Hardware configuration of the PADE accelerator (paper Table III) plus
+ * feature toggles used by the ablation studies. Every toggle maps to a
+ * named mechanism in the paper:
+ *
+ *  - enable_guard     : BUI-GF token pruning (§IV-A)
+ *  - result_reuse     : scoreboard-based result-reusable PE lane (§V-C);
+ *                       off = every bit round reloads all prior planes
+ *  - enable_bs        : bidirectional sparsity (§IV-B)
+ *  - enable_ooe       : bit-wise out-of-order execution (§IV-B)
+ *  - enable_ista      : tile-level pruning + online softmax (§IV-C);
+ *                       off = full-row score buffering (spills)
+ *  - enable_rars      : reuse-aware reorder scheduling of V (§V-E)
+ *  - enable_head_tail : head-tail interleaved updating (§IV-C)
+ */
+
+#ifndef PADE_ARCH_ARCH_CONFIG_H
+#define PADE_ARCH_ARCH_CONFIG_H
+
+#include <cstdint>
+
+#include "core/pade_attention.h"
+#include "memory/hbm.h"
+#include "memory/layout.h"
+
+namespace pade {
+
+/** Full architectural configuration; defaults mirror paper Table III. */
+struct ArchConfig
+{
+    // QK-PU geometry.
+    int pe_rows = 8;            //!< queries processed in parallel
+    int lanes_per_row = 16;     //!< bit-wise PE lanes per row
+    int lane_dim = 64;          //!< dot-product width of one lane issue
+    int subgroup = 8;           //!< GSAT sub-group size
+    int muxes = 4;              //!< muxes per sub-group
+    int scoreboard_entries = 32;
+
+    // V-PU geometry.
+    int vpu_rows = 8;
+    int vpu_cols = 16;
+    int vpu_vs_per_round = 2;   //!< V vectors a score row takes per round
+
+    // Buffers (Table III: 320 KB KV + 32 KB Q).
+    uint64_t kv_buffer_bytes = 320 * 1024;
+    uint64_t q_buffer_bytes = 32 * 1024;
+
+    // Off-chip memory and layout.
+    HbmConfig hbm;
+    KLayout k_layout = KLayout::BitPlaneInterleaved;
+
+    // Feature toggles (all on = full PADE).
+    bool enable_guard = true;
+    bool result_reuse = true;
+    bool enable_bs = true;
+    bool enable_ooe = true;
+    bool enable_ista = true;
+    bool enable_rars = true;
+    bool enable_head_tail = true;
+
+    /**
+     * Prefill shares one K stream across all query rows of a head;
+     * decode (paper §VI-F) streams distinct KV per head, so plane
+     * fetches cannot be amortized across rows.
+     */
+    bool shared_k = true;
+
+    // Algorithm parameters forwarded to the functional core.
+    PadeConfig algo;
+
+    int totalLanes() const { return pe_rows * lanes_per_row; }
+};
+
+} // namespace pade
+
+#endif // PADE_ARCH_ARCH_CONFIG_H

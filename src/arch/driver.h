@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Workload driver: maps (model, dataset) presets onto block-level
+ * simulations of the PADE accelerator and scales one sampled query
+ * block to the full model (layers x KV streams x query blocks), the
+ * way the paper's evaluation reports whole-model attention runs.
+ */
+
+#ifndef PADE_ARCH_DRIVER_H
+#define PADE_ARCH_DRIVER_H
+
+#include "arch/pade_accelerator.h"
+#include "workload/model_config.h"
+
+namespace pade {
+
+/** One whole-model attention simulation request. */
+struct SimRequest
+{
+    ModelConfig model;
+    DatasetConfig dataset;
+    bool decode = false;    //!< decode step (1 query, unshared K)
+    int decode_steps = 1;   //!< autoregressive steps to account
+    uint64_t seed = 1;
+    double alpha = 0.55;    //!< BUI-GF guard-band fraction
+    double radius = 5.0;    //!< guard radius in logit units
+    int bits = 8;           //!< operand bit-width (8 or 4)
+    bool qat = false;       //!< QAT-flattened distribution
+    /**
+     * Cap on the simulated key-sequence length; longer dataset
+     * sequences are simulated at the cap and scaled linearly (keeps
+     * 100k+ token runs tractable; the per-key behaviour is IID under
+     * the generator so the extrapolation is faithful).
+     */
+    int max_sim_seq = 32768;
+};
+
+/** Outcome: full-model totals plus the raw sampled block. */
+struct SimOutcome
+{
+    RunMetrics total;       //!< scaled to the whole model
+    RunMetrics block;       //!< one simulated query block
+    double retained_mass = 1.0; //!< accuracy proxy of the block
+    double scale_factor = 1.0;
+    int simulated_seq = 0;
+};
+
+/** Simulate PADE on a model/dataset pair. */
+SimOutcome simulatePade(const ArchConfig &cfg, const SimRequest &req);
+
+/**
+ * Calibrate alpha so the retained softmax mass meets @p target_mass
+ * (binary search over the functional algorithm only). Used to realize
+ * the paper's "standard" (~0% loss) and "aggressive" (~1% loss)
+ * operating points per workload.
+ */
+double calibrateAlpha(const SimRequest &req, double target_mass);
+
+/** Number of query blocks the full model executes (scaling factor). */
+double modelScaleFactor(const SimRequest &req, int simulated_seq,
+                        int block_queries);
+
+} // namespace pade
+
+#endif // PADE_ARCH_DRIVER_H

@@ -1,0 +1,154 @@
+#include "arch/pade_accelerator.h"
+
+#include <algorithm>
+
+#include "arch/qk_pu.h"
+#include "arch/v_pu.h"
+#include "common/math_util.h"
+#include "energy/tech.h"
+
+namespace pade {
+
+RunMetrics
+RunMetrics::scaled(double f) const
+{
+    RunMetrics m = *this;
+    m.qk_cycles *= f;
+    m.v_cycles *= f;
+    m.cycles *= f;
+    m.time_ns *= f;
+    m.useful_ops *= f;
+    m.dram_bytes = static_cast<uint64_t>(
+        static_cast<double>(m.dram_bytes) * f);
+    m.sram_bytes = static_cast<uint64_t>(
+        static_cast<double>(m.sram_bytes) * f);
+    m.busy_cycles *= f;
+    m.dram_stall_cycles *= f;
+    m.intra_pe_stall_cycles *= f;
+    m.inter_pe_stall_cycles *= f;
+    m.bit_shift_cycles *= f;
+
+    m.energy.compute_pj *= f;
+    m.energy.sram_pj *= f;
+    m.energy.dram_pj *= f;
+    m.energy.other_pj *= f;
+    for (auto &kv : m.energy.modules)
+        kv.second *= f;
+
+    m.prune.planes_processed = static_cast<uint64_t>(
+        static_cast<double>(m.prune.planes_processed) * f);
+    m.prune.planes_total = static_cast<uint64_t>(
+        static_cast<double>(m.prune.planes_total) * f);
+    m.prune.keys_retained = static_cast<uint64_t>(
+        static_cast<double>(m.prune.keys_retained) * f);
+    m.prune.keys_total = static_cast<uint64_t>(
+        static_cast<double>(m.prune.keys_total) * f);
+    m.prune.ops_bs = static_cast<uint64_t>(
+        static_cast<double>(m.prune.ops_bs) * f);
+    m.prune.ops_naive = static_cast<uint64_t>(
+        static_cast<double>(m.prune.ops_naive) * f);
+    return m;
+}
+
+PadeAccelerator::PadeAccelerator(ArchConfig cfg) : cfg_(cfg)
+{
+}
+
+RunMetrics
+PadeAccelerator::runHead(const QuantizedHead &head)
+{
+    const int p = head.q.values.rows();
+    const int s = head.k.values.rows();
+    const int h = head.v.values.cols();
+    const int bits = head.k_planes.numPlanes();
+
+    // 1. Functional pass: pruning trace + retained sets + outputs.
+    PadeConfig algo = cfg_.algo;
+    algo.guard_enabled = cfg_.enable_guard;
+    algo.head_tail = cfg_.enable_head_tail && cfg_.enable_ista;
+    const PadeResult fn = padeAttention(head, algo);
+
+    // 2. Replay through the hardware models on one HBM timeline.
+    HbmModel hbm(cfg_.hbm);
+    const KAddressMap kmap(cfg_.k_layout, s, head.k_planes.planeBytes(),
+                           bits, 0);
+    const uint64_t v_base = roundUp(
+        static_cast<int64_t>(kmap.regionBytes()), 4096);
+
+    const std::vector<int> order = istaScanOrder(s, algo.tile_bc,
+                                                 algo.head_tail);
+    const QkPuResult qk = simulateQkPu(cfg_, head, fn.planes, order,
+                                       hbm, kmap, 0.0);
+
+    // ISTA overlaps the value stage with QK speculation (staggered
+    // pipeline; V trails the retained-tile production); without tiling
+    // the value stage waits for the full score row.
+    const double v_start = cfg_.enable_ista ?
+        qk.makespan_ns * 0.3 : qk.makespan_ns;
+
+    uint64_t rescale = fn.stats.rescale_ops;
+    const VPuResult v = simulateVPu(cfg_, head, fn.retained, rescale,
+                                    hbm, v_base, v_start);
+
+    // 3. Aggregate.
+    RunMetrics m;
+    m.qk_cycles = qk.makespan_ns * tech::kCyclesPerNs;
+    m.v_cycles = v.makespan_ns * tech::kCyclesPerNs;
+    m.time_ns = std::max(qk.makespan_ns, v_start + v.makespan_ns);
+    m.cycles = m.time_ns * tech::kCyclesPerNs;
+
+    // Dense-equivalent useful work: QK^T and P*V MACs (x2 ops each).
+    uint64_t visible_pairs = 0;
+    if (algo.causal) {
+        for (int i = 0; i < p; i++)
+            visible_pairs += static_cast<uint64_t>(s - p + i + 1);
+    } else {
+        visible_pairs = static_cast<uint64_t>(p) * s;
+    }
+    m.useful_ops = 4.0 * static_cast<double>(visible_pairs) * h;
+
+    m.energy.add("pe_lane", qk.pe_lane_pj,
+                 &EnergyBreakdown::compute_pj);
+    m.energy.add("scoreboard", qk.scoreboard_pj,
+                 &EnergyBreakdown::compute_pj);
+    m.energy.add("decision_unit", qk.decision_pj,
+                 &EnergyBreakdown::compute_pj);
+    m.energy.add("bui", qk.bui_pj, &EnergyBreakdown::compute_pj);
+    m.energy.add("schedulers", qk.scheduler_pj,
+                 &EnergyBreakdown::compute_pj);
+    m.energy.add("vpu", v.vpu_mac_pj, &EnergyBreakdown::compute_pj);
+    m.energy.add("apm", v.apm_pj, &EnergyBreakdown::compute_pj);
+    m.energy.add("vpu_rescale",
+                 v.compute_pj - v.vpu_mac_pj - v.apm_pj,
+                 &EnergyBreakdown::compute_pj);
+    m.energy.add("buffers", qk.sram_pj + v.sram_pj,
+                 &EnergyBreakdown::sram_pj);
+    m.energy.add("dram", hbm.energyPj(), &EnergyBreakdown::dram_pj);
+    // Top control / NoC overhead plus idle power over the makespan.
+    m.energy.add("others", 0.05 * m.energy.compute_pj,
+                 &EnergyBreakdown::other_pj);
+    m.energy.add("static", tech::kAsicIdlePjPerNs * m.time_ns,
+                 &EnergyBreakdown::other_pj);
+
+    m.dram_bytes = hbm.busBytes();
+    m.bw_utilization = hbm.bandwidthUtilization(m.time_ns);
+    m.row_hit_rate = hbm.rowHitRate();
+    m.sram_bytes = static_cast<uint64_t>(
+        (qk.sram_pj + v.sram_pj) / 0.6);
+
+    m.busy_cycles = qk.busy_cycles + v.busy_cycles;
+    m.dram_stall_cycles = qk.dram_stall_cycles;
+    m.intra_pe_stall_cycles = qk.intra_pe_stall_cycles;
+    m.inter_pe_stall_cycles = qk.inter_pe_stall_cycles;
+    m.bit_shift_cycles = qk.bit_shift_cycles;
+
+    const int bundles = cfg_.shared_k ? 1 : p;
+    const double lane_slots = static_cast<double>(bundles) *
+        cfg_.lanes_per_row * std::max(m.qk_cycles, 1.0);
+    m.utilization = std::min(1.0, qk.busy_cycles / lane_slots);
+
+    m.prune = fn.stats;
+    return m;
+}
+
+} // namespace pade

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Top-level PADE accelerator simulator: runs the functional algorithm,
+ * replays its pruning trace through the QK-PU and V-PU cycle models
+ * over a shared HBM2 timeline, and aggregates cycles/energy into
+ * RunMetrics. One instance models one accelerator die (Table III).
+ */
+
+#ifndef PADE_ARCH_PADE_ACCELERATOR_H
+#define PADE_ARCH_PADE_ACCELERATOR_H
+
+#include "arch/arch_config.h"
+#include "arch/run_metrics.h"
+#include "workload/generator.h"
+
+namespace pade {
+
+/**
+ * Cycle-level PADE accelerator.
+ */
+class PadeAccelerator
+{
+  public:
+    explicit PadeAccelerator(ArchConfig cfg = {});
+
+    /**
+     * Simulate one query block (head.q rows, at most pe_rows for full
+     * utilization) against one K/V stream.
+     */
+    RunMetrics runHead(const QuantizedHead &head);
+
+    const ArchConfig &config() const { return cfg_; }
+
+  private:
+    ArchConfig cfg_;
+};
+
+} // namespace pade
+
+#endif // PADE_ARCH_PADE_ACCELERATOR_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Cycle-level model of the Query-Key Processing Unit (paper Fig. 11):
+ * 8 rows x 16 bit-wise PE lanes with scoreboards, fed by the HBM model
+ * through a configurable K layout. The model replays the functional
+ * pruning trace (planes consumed per key) through a discrete-event
+ * simulation of the lanes:
+ *
+ *  - keys are sharded round-robin over lanes in ISTA scan order;
+ *  - each in-flight key occupies one scoreboard entry and has at most
+ *    one outstanding bit-plane request;
+ *  - with OOE the lane computes whichever loaded plane is ready while
+ *    others are in flight; without OOE it blocks in order (the paper's
+ *    Fig. 8(c)(d) exposed-latency behaviour);
+ *  - per-plane compute cycles come from the GSAT work model: 1 cycle
+ *    with BS, popcount-bound without (BitWave-style imbalance);
+ *  - without result reuse, every bit round refetches all prior planes
+ *    (the redundant-access behaviour the scoreboard PE eliminates).
+ */
+
+#ifndef PADE_ARCH_QK_PU_H
+#define PADE_ARCH_QK_PU_H
+
+#include <vector>
+
+#include "arch/arch_config.h"
+#include "arch/run_metrics.h"
+#include "memory/hbm.h"
+#include "memory/layout.h"
+#include "workload/generator.h"
+
+namespace pade {
+
+/** Timing/energy outcome of the QK stage. */
+struct QkPuResult
+{
+    double makespan_ns = 0.0;
+    double busy_cycles = 0.0;
+    double dram_stall_cycles = 0.0;
+    double intra_pe_stall_cycles = 0.0;
+    double inter_pe_stall_cycles = 0.0;
+    double bit_shift_cycles = 0.0;
+    double compute_pj = 0.0;
+    double sram_pj = 0.0;
+    /** Finer module split for the Fig. 20 pie. */
+    double pe_lane_pj = 0.0;
+    double scoreboard_pj = 0.0;
+    double decision_pj = 0.0;
+    double bui_pj = 0.0;
+    double scheduler_pj = 0.0;
+};
+
+/**
+ * Simulate the QK-PU over one head's pruning trace.
+ *
+ * @param cfg architecture configuration
+ * @param head quantized operands (for plane geometry and work counts)
+ * @param planes (P x S) planes consumed per (query row, key)
+ * @param order key scan order (ISTA order used by the functional run)
+ * @param hbm shared HBM model (accumulates traffic/time)
+ * @param kmap K address map (layout policy)
+ * @param start_ns simulation start time on the HBM timeline
+ */
+QkPuResult simulateQkPu(const ArchConfig &cfg, const QuantizedHead &head,
+                        const Matrix<uint8_t> &planes,
+                        const std::vector<int> &order, HbmModel &hbm,
+                        const KAddressMap &kmap, double start_ns);
+
+} // namespace pade
+
+#endif // PADE_ARCH_QK_PU_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Metrics emitted by one accelerator run: cycles, energy breakdown,
+ * memory traffic, utilization, and the pruning statistics of the
+ * underlying algorithm. All figure benches consume this structure.
+ */
+
+#ifndef PADE_ARCH_RUN_METRICS_H
+#define PADE_ARCH_RUN_METRICS_H
+
+#include <cstdint>
+
+#include "core/pade_attention.h"
+#include "energy/energy_model.h"
+
+namespace pade {
+
+/** Outcome of simulating one attention workload on one design. */
+struct RunMetrics
+{
+    // Timing.
+    double qk_cycles = 0.0;     //!< QK-PU critical path
+    double v_cycles = 0.0;      //!< V-PU critical path
+    double cycles = 0.0;        //!< overall (staggered pipeline)
+    double time_ns = 0.0;
+
+    // Work and energy.
+    double useful_ops = 0.0;    //!< value-level MAC-equivalent ops
+    EnergyBreakdown energy;
+
+    // Memory.
+    uint64_t dram_bytes = 0;
+    double bw_utilization = 0.0;
+    double row_hit_rate = 0.0;
+    uint64_t sram_bytes = 0;
+
+    // Lane behaviour (Fig. 23(a)).
+    double busy_cycles = 0.0;        //!< summed over lanes
+    double dram_stall_cycles = 0.0;  //!< summed over lanes
+    double intra_pe_stall_cycles = 0.0;
+    double inter_pe_stall_cycles = 0.0;
+    double utilization = 0.0;        //!< busy / (lanes * makespan)
+    double bit_shift_cycles = 0.0;   //!< Fig. 18(a) overhead component
+
+    // Algorithm trace.
+    PruneStats prune;
+
+    /** Energy efficiency in GOPS/W over the useful attention ops. */
+    double
+    gopsPerW() const
+    {
+        return energy.total() > 0.0 ?
+            useful_ops / energy.total() * 1000.0 : 0.0;
+    }
+    /** Throughput in useful GOPS. */
+    double
+    gops() const
+    {
+        return time_ns > 0.0 ? useful_ops / time_ns : 0.0;
+    }
+
+    /** Scale every extensive quantity by @p f (heads/layers scaling). */
+    RunMetrics scaled(double f) const;
+};
+
+} // namespace pade
+
+#endif // PADE_ARCH_RUN_METRICS_H

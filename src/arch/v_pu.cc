@@ -1,0 +1,108 @@
+#include "arch/v_pu.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+#include "core/rars.h"
+#include "energy/tech.h"
+#include "memory/layout.h"
+
+namespace pade {
+
+VPuResult
+simulateVPu(const ArchConfig &cfg, const QuantizedHead &head,
+            const std::vector<std::vector<int>> &retained,
+            uint64_t rescale_ops, HbmModel &hbm, uint64_t v_base,
+            double start_ns)
+{
+    VPuResult res;
+    const int h = head.v.values.cols();
+    const int p = static_cast<int>(retained.size());
+    const double ns_per_cycle = tech::kNsPerCycle;
+    const double sram_per_byte = 0.6;
+
+    // V fetch schedule: RARS greedy vs naive left-to-right.
+    const RarsSchedule naive = scheduleNaive(retained,
+                                             cfg.vpu_vs_per_round);
+    const RarsSchedule sched = cfg.enable_rars ?
+        scheduleRars(retained, cfg.vpu_vs_per_round) : naive;
+    res.v_loads = sched.loads;
+    res.v_loads_naive = naive.loads;
+
+    // Fetch and compute timelines are decoupled: V vectors stream
+    // (double-buffered staging) while the output-stationary array
+    // consumes whatever is resident; the stage finishes when both the
+    // fetch schedule and the MAC work are done.
+    double fetch_t = start_ns;
+    double fetch_done = start_ns;
+    uint64_t total_retained = 0;
+    for (const auto &row : retained)
+        total_retained += row.size();
+
+    for (const auto &round : sched.rounds) {
+        for (int v : round) {
+            const HbmAccess acc = hbm.read(
+                rowMajorAddress(v_base, v, h), h, fetch_t);
+            fetch_done = std::max(fetch_done, acc.complete_ns);
+            fetch_t = std::max(fetch_t, acc.issue_ns);
+            res.sram_pj += 2.0 * h * sram_per_byte; // stage + read
+        }
+    }
+
+    // Systolic work: every retained (row, key) pair streams H MACs
+    // through the rows x cols array; pipeline bubbles between rounds
+    // cost ~10%. Online-softmax rescales (reduced by head-tail
+    // interleaving) ride the same datapath.
+    const double mac_cycles = 1.1 *
+        static_cast<double>(total_retained) * h /
+        (static_cast<double>(cfg.vpu_rows) * cfg.vpu_cols);
+    const double rescale_cycles =
+        static_cast<double>(rescale_ops) / cfg.vpu_cols;
+    res.busy_cycles += mac_cycles + rescale_cycles;
+    res.compute_pj += static_cast<double>(rescale_ops) *
+        tech::kFp32AddPj;
+    double t = std::max(fetch_done, start_ns +
+                        (mac_cycles + rescale_cycles) * ns_per_cycle);
+
+    // Score spill when ISTA tiling is disabled: all row scores must be
+    // buffered before pruning completes; overflow goes to DRAM and
+    // comes back.
+    if (!cfg.enable_ista) {
+        const uint64_t score_bytes = 2ULL * head.k.values.rows() * p;
+        // Without tile-level decisions, scores stage in the small
+        // score-FIFO region rather than the tiled working set.
+        const uint64_t budget = 24 * 1024;
+        if (score_bytes > budget) {
+            res.spill_bytes = 2 * (score_bytes - budget);
+            uint64_t addr = v_base + (1ULL << 30);
+            uint64_t remaining = res.spill_bytes;
+            while (remaining > 0) {
+                const uint32_t chunk = static_cast<uint32_t>(
+                    std::min<uint64_t>(remaining, 1024));
+                t = hbm.read(addr, chunk, t).complete_ns;
+                addr += chunk;
+                remaining -= chunk;
+            }
+        }
+    }
+
+    // Systolic MACs: every retained (key, row) pair multiplies its
+    // probability with an H-wide V row.
+    res.vpu_mac_pj = static_cast<double>(total_retained) * h *
+        tech::kInt8MacPj;
+    // APM: one FP16 exponential per retained score.
+    res.apm_pj = static_cast<double>(total_retained) *
+        tech::kFp16ExpPj;
+    res.compute_pj += res.vpu_mac_pj + res.apm_pj;
+
+    // Output writeback: P x H FP16 through SRAM to DRAM.
+    const uint64_t out_bytes = static_cast<uint64_t>(p) * h * 2;
+    res.sram_pj += out_bytes * sram_per_byte;
+    hbm.read(v_base + (1ULL << 31), static_cast<uint32_t>(
+        std::max<uint64_t>(out_bytes, 1)), t);
+
+    res.makespan_ns = t - start_ns;
+    return res;
+}
+
+} // namespace pade

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Model of the Value Processing Unit (paper Fig. 11(a)): an 8x16 INT8
+ * output-stationary systolic array, a 128-input FP16 exponent module
+ * (APM), and the RARS scheduler that orders V-vector fetches.
+ *
+ * The V-PU consumes the retained-key lists of a query block. V loads
+ * follow either the RARS greedy schedule or the naive left-to-right
+ * schedule; each loaded V vector costs one DRAM row read plus SRAM
+ * staging. When ISTA is disabled, full-row score buffering is modelled:
+ * scores that exceed the on-chip score budget spill to DRAM and return.
+ */
+
+#ifndef PADE_ARCH_V_PU_H
+#define PADE_ARCH_V_PU_H
+
+#include <vector>
+
+#include "arch/arch_config.h"
+#include "memory/hbm.h"
+#include "workload/generator.h"
+
+namespace pade {
+
+/** Timing/energy outcome of the value stage. */
+struct VPuResult
+{
+    double makespan_ns = 0.0;
+    double busy_cycles = 0.0;
+    double compute_pj = 0.0;  //!< systolic + APM + rescale
+    double sram_pj = 0.0;
+    double vpu_mac_pj = 0.0;
+    double apm_pj = 0.0;
+    uint64_t v_loads = 0;       //!< V vectors fetched from DRAM
+    uint64_t v_loads_naive = 0; //!< what the naive order would fetch
+    uint64_t spill_bytes = 0;   //!< score spill traffic (ISTA off)
+};
+
+/**
+ * Simulate the value stage for one query block.
+ *
+ * @param retained retained key ids per query row
+ * @param rescale_ops online-softmax rescale multiply-adds (from the
+ *        functional trace; head-tail ordering lowers it)
+ * @param v_base DRAM base address of the V region
+ * @param start_ns when the stage may start issuing on the HBM timeline
+ */
+VPuResult simulateVPu(const ArchConfig &cfg, const QuantizedHead &head,
+                      const std::vector<std::vector<int>> &retained,
+                      uint64_t rescale_ops, HbmModel &hbm,
+                      uint64_t v_base, double start_ns);
+
+} // namespace pade
+
+#endif // PADE_ARCH_V_PU_H

@@ -1,0 +1,120 @@
+#include "attention/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "attention/reference.h"
+
+namespace pade {
+
+double
+relativeError(const MatrixF &a, const MatrixF &b)
+{
+    assert(a.rows() == b.rows() && a.cols() == b.cols());
+    double num = 0.0;
+    double den = 0.0;
+    for (int i = 0; i < a.rows(); i++) {
+        for (int j = 0; j < a.cols(); j++) {
+            const double e = static_cast<double>(a.at(i, j)) - b.at(i, j);
+            num += e * e;
+            den += static_cast<double>(b.at(i, j)) * b.at(i, j);
+        }
+    }
+    return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+double
+cosineSimilarity(const MatrixF &a, const MatrixF &b)
+{
+    assert(a.rows() == b.rows() && a.cols() == b.cols());
+    double total = 0.0;
+    int counted = 0;
+    for (int i = 0; i < a.rows(); i++) {
+        double dot = 0.0;
+        double na = 0.0;
+        double nb = 0.0;
+        for (int j = 0; j < a.cols(); j++) {
+            dot += static_cast<double>(a.at(i, j)) * b.at(i, j);
+            na += static_cast<double>(a.at(i, j)) * a.at(i, j);
+            nb += static_cast<double>(b.at(i, j)) * b.at(i, j);
+        }
+        if (na > 0.0 && nb > 0.0) {
+            total += dot / std::sqrt(na * nb);
+            counted++;
+        }
+    }
+    return counted ? total / counted : 1.0;
+}
+
+double
+retainedMass(const MatrixF &logits, const Matrix<uint8_t> &keep)
+{
+    assert(logits.rows() == keep.rows() && logits.cols() == keep.cols());
+    double total = 0.0;
+    for (int i = 0; i < logits.rows(); i++) {
+        std::vector<float> probs(logits.row(i).begin(),
+                                 logits.row(i).end());
+        softmaxRow(probs);
+        double mass = 0.0;
+        for (int j = 0; j < logits.cols(); j++)
+            if (keep.at(i, j))
+                mass += probs[j];
+        total += mass;
+    }
+    return logits.rows() ? total / logits.rows() : 1.0;
+}
+
+double
+topkRecall(const MatrixF &logits, const Matrix<uint8_t> &keep, int k)
+{
+    assert(logits.rows() == keep.rows() && logits.cols() == keep.cols());
+    if (logits.cols() == 0 || logits.rows() == 0)
+        return 1.0;
+    k = std::min(k, logits.cols());
+    double total = 0.0;
+    std::vector<int> idx(logits.cols());
+    for (int i = 0; i < logits.rows(); i++) {
+        std::iota(idx.begin(), idx.end(), 0);
+        auto row = logits.row(i);
+        std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                          [&row](int a, int b) {
+                              return row[a] > row[b];
+                          });
+        int hit = 0;
+        for (int t = 0; t < k; t++)
+            if (keep.at(i, idx[t]))
+                hit++;
+        total += static_cast<double>(hit) / k;
+    }
+    return total / logits.rows();
+}
+
+double
+prunedFraction(const Matrix<uint8_t> &keep)
+{
+    if (keep.size() == 0)
+        return 0.0;
+    uint64_t kept = 0;
+    for (int i = 0; i < keep.rows(); i++)
+        for (uint8_t v : keep.row(i))
+            kept += v ? 1 : 0;
+    return 1.0 - static_cast<double>(kept) /
+           static_cast<double>(keep.size());
+}
+
+double
+taskScoreFromMass(double retained_mass)
+{
+    // Piecewise mapping: losing softmax mass m costs roughly
+    // proportional task score once past a small tolerance. Calibrated
+    // anchor points: mass 1.0 -> 1.0, 0.999 -> ~0.9995, 0.99 -> ~0.995,
+    // 0.9 -> ~0.94, 0.5 -> ~0.30.
+    const double m = std::clamp(retained_mass, 0.0, 1.0);
+    const double loss = 1.0 - m;
+    const double penalty = 0.5 * loss + 1.8 * loss * loss;
+    return std::max(0.0, 1.0 - penalty);
+}
+
+} // namespace pade

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Accuracy proxies for sparse attention.
+ *
+ * We cannot run the paper's pretrained LLMs offline, so every accuracy
+ * experiment reports faithful functional proxies measured against the
+ * dense INT8 oracle (see DESIGN.md §3):
+ *  - output relative error / cosine similarity of attention outputs,
+ *  - retained softmax mass (probability captured by unpruned keys),
+ *  - top-k agreement between sparse and dense attention distributions.
+ * The mapping from retained mass to a task-score delta is documented in
+ * EXPERIMENTS.md and implemented in taskScoreFromMass().
+ */
+
+#ifndef PADE_ATTENTION_METRICS_H
+#define PADE_ATTENTION_METRICS_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace pade {
+
+/** Relative Frobenius error ||a - b|| / ||b|| (b = reference). */
+double relativeError(const MatrixF &a, const MatrixF &b);
+
+/** Mean row-wise cosine similarity between two matrices. */
+double cosineSimilarity(const MatrixF &a, const MatrixF &b);
+
+/**
+ * Softmax probability mass retained by a keep mask, averaged over rows.
+ *
+ * @param logits (Sq x Sk) attention logits (scaled)
+ * @param keep   (Sq x Sk) 1 = key retained
+ */
+double retainedMass(const MatrixF &logits, const Matrix<uint8_t> &keep);
+
+/**
+ * Fraction of the dense top-k keys that the mask retains, averaged over
+ * rows (recall of vital tokens).
+ */
+double topkRecall(const MatrixF &logits, const Matrix<uint8_t> &keep,
+                  int k);
+
+/** Fraction of (query, key) pairs pruned by the mask. */
+double prunedFraction(const Matrix<uint8_t> &keep);
+
+/**
+ * Map retained softmax mass to an estimated relative task-score
+ * multiplier in (0, 1]. Calibrated so that mass >= 0.999 keeps score
+ * parity with the INT8 baseline ("0% loss") and mass ~0.99 costs about
+ * one point ("1% loss"), matching the paper's standard/aggressive
+ * operating points.
+ */
+double taskScoreFromMass(double retained_mass);
+
+} // namespace pade
+
+#endif // PADE_ATTENTION_METRICS_H

@@ -1,0 +1,112 @@
+#include "attention/online_softmax.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace pade {
+
+OnlineSoftmaxRow::OnlineSoftmaxRow(int dim)
+    : dim_(dim), m_(-std::numeric_limits<float>::infinity()),
+      acc_(dim, 0.0f)
+{
+}
+
+void
+OnlineSoftmaxRow::update(std::span<const float> scores,
+                         const std::vector<std::span<const float>> &values)
+{
+    assert(scores.size() == values.size());
+    if (scores.empty())
+        return;
+
+    float tile_max = scores[0];
+    for (float s : scores)
+        tile_max = std::max(tile_max, s);
+
+    const float new_m = std::max(m_, tile_max);
+    if (new_m > m_ && l_ > 0.0f) {
+        // Rescale the accumulator: one subtraction + exp, then a
+        // scalar-vector multiply on O and one on l (paper lines 11-12).
+        const float correction = std::exp(m_ - new_m);
+        for (float &a : acc_)
+            a *= correction;
+        l_ *= correction;
+        max_updates_++;
+        rescale_ops_ += static_cast<uint64_t>(2 * dim_ + 2);
+    } else if (new_m > m_) {
+        max_updates_ += (m_ !=
+            -std::numeric_limits<float>::infinity()) ? 1 : 0;
+    }
+    m_ = new_m;
+
+    for (size_t t = 0; t < scores.size(); t++) {
+        const float p = std::exp(scores[t] - m_);
+        l_ += p;
+        auto vrow = values[t];
+        assert(static_cast<int>(vrow.size()) == dim_);
+        for (int d = 0; d < dim_; d++)
+            acc_[d] += p * vrow[d];
+    }
+}
+
+std::vector<float>
+OnlineSoftmaxRow::finalize() const
+{
+    std::vector<float> out(acc_);
+    if (l_ > 0.0f)
+        for (float &v : out)
+            v /= l_;
+    return out;
+}
+
+MatrixF
+flashAttention(const MatrixF &q, const MatrixF &k, const MatrixF &v,
+               float scale, int tile_size)
+{
+    assert(tile_size > 0 && k.rows() == v.rows());
+    MatrixF out(q.rows(), v.cols());
+
+    for (int i = 0; i < q.rows(); i++) {
+        OnlineSoftmaxRow acc(v.cols());
+        auto qrow = q.row(i);
+        for (int base = 0; base < k.rows(); base += tile_size) {
+            const int hi = std::min(k.rows(), base + tile_size);
+            std::vector<float> scores;
+            std::vector<std::span<const float>> vals;
+            for (int j = base; j < hi; j++) {
+                float s = 0.0f;
+                auto krow = k.row(j);
+                for (int d = 0; d < k.cols(); d++)
+                    s += qrow[d] * krow[d];
+                scores.push_back(s * scale);
+                vals.push_back(v.row(j));
+            }
+            acc.update(scores, vals);
+        }
+        auto rowv = acc.finalize();
+        for (int d = 0; d < v.cols(); d++)
+            out.at(i, d) = rowv[d];
+    }
+    return out;
+}
+
+std::vector<int>
+headTailOrder(int num_tiles)
+{
+    std::vector<int> order;
+    order.reserve(num_tiles);
+    int head = 0;
+    int tail = num_tiles - 1;
+    bool take_head = true;
+    while (head <= tail) {
+        if (take_head)
+            order.push_back(head++);
+        else
+            order.push_back(tail--);
+        take_head = !take_head;
+    }
+    return order;
+}
+
+} // namespace pade

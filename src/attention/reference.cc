@@ -1,0 +1,111 @@
+#include "attention/reference.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace pade {
+
+void
+softmaxRow(std::span<float> row)
+{
+    if (row.empty())
+        return;
+    float mx = row[0];
+    for (float v : row)
+        mx = std::max(mx, v);
+    float sum = 0.0f;
+    for (float &v : row) {
+        v = std::exp(v - mx);
+        sum += v;
+    }
+    if (sum <= 0.0f)
+        return;
+    for (float &v : row)
+        v /= sum;
+}
+
+MatrixF
+attentionLogits(const MatrixF &q, const MatrixF &k, float scale)
+{
+    MatrixF s = matmulBt<float, float, float>(q, k);
+    for (int i = 0; i < s.rows(); i++)
+        for (float &v : s.row(i))
+            v *= scale;
+    return s;
+}
+
+namespace {
+
+constexpr float kNegInf = -std::numeric_limits<float>::infinity();
+
+/** Apply a causal mask assuming queries occupy the last Sq positions. */
+void
+applyCausal(MatrixF &s, int sk)
+{
+    const int sq = s.rows();
+    for (int i = 0; i < sq; i++) {
+        // Query i sits at absolute position sk - sq + i.
+        const int pos = sk - sq + i;
+        for (int j = pos + 1; j < sk; j++)
+            s.at(i, j) = kNegInf;
+    }
+}
+
+MatrixF
+softmaxTimesV(MatrixF s, const MatrixF &v)
+{
+    for (int i = 0; i < s.rows(); i++)
+        softmaxRow(s.row(i));
+    return matmul<float, float, float>(s, v);
+}
+
+} // namespace
+
+MatrixF
+denseAttention(const MatrixF &q, const MatrixF &k, const MatrixF &v,
+               float scale, bool causal)
+{
+    assert(k.rows() == v.rows());
+    MatrixF s = attentionLogits(q, k, scale);
+    if (causal)
+        applyCausal(s, k.rows());
+    return softmaxTimesV(std::move(s), v);
+}
+
+MatrixF
+int8Attention(const MatrixF &q, const MatrixF &k, const MatrixF &v,
+              float scale, bool causal)
+{
+    const Quantized qq = quantizeSymmetric(q, 8);
+    const Quantized kq = quantizeSymmetric(k, 8);
+    const Quantized vq = quantizeSymmetric(v, 8);
+
+    MatrixI32 si = matmulBt<int8_t, int8_t, int32_t>(qq.values,
+                                                     kq.values);
+    MatrixF s(si.rows(), si.cols());
+    const float deq = qq.params.scale * kq.params.scale * scale;
+    for (int i = 0; i < s.rows(); i++)
+        for (int j = 0; j < s.cols(); j++)
+            s.at(i, j) = deq * static_cast<float>(si.at(i, j));
+    if (causal)
+        applyCausal(s, k.rows());
+
+    const MatrixF vf = dequantize(vq);
+    return softmaxTimesV(std::move(s), vf);
+}
+
+MatrixF
+maskedAttention(const MatrixF &q, const MatrixF &k, const MatrixF &v,
+                float scale, const Matrix<uint8_t> &keep)
+{
+    assert(keep.rows() == q.rows() && keep.cols() == k.rows());
+    MatrixF s = attentionLogits(q, k, scale);
+    for (int i = 0; i < s.rows(); i++)
+        for (int j = 0; j < s.cols(); j++)
+            if (!keep.at(i, j))
+                s.at(i, j) = kNegInf;
+    return softmaxTimesV(std::move(s), v);
+}
+
+} // namespace pade

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reference attention implementations: FP32 dense softmax attention and
+ * the INT8 functional baseline the paper calibrates accuracy against.
+ * These serve as the oracle for every sparse method in the repository.
+ */
+
+#ifndef PADE_ATTENTION_REFERENCE_H
+#define PADE_ATTENTION_REFERENCE_H
+
+#include <span>
+#include <vector>
+
+#include "quant/quantizer.h"
+#include "tensor/matrix.h"
+
+namespace pade {
+
+/** In-place numerically stable softmax over a row. */
+void softmaxRow(std::span<float> row);
+
+/**
+ * Dense attention O = softmax(Q K^T * scale) V in FP32.
+ *
+ * @param q (Sq x H) queries
+ * @param k (Sk x H) keys
+ * @param v (Sk x H) values
+ * @param scale logit scale, typically 1/sqrt(H)
+ * @param causal apply causal mask with queries aligned to the last
+ *        Sq positions of the key sequence
+ */
+MatrixF denseAttention(const MatrixF &q, const MatrixF &k,
+                       const MatrixF &v, float scale,
+                       bool causal = false);
+
+/** Raw logit matrix S = Q K^T * scale (no softmax). */
+MatrixF attentionLogits(const MatrixF &q, const MatrixF &k, float scale);
+
+/**
+ * INT8 functional attention: Q/K/V quantized symmetrically, logits
+ * dequantized before an FP32 softmax (matching the paper's INT8 baseline
+ * where non-linear ops stay in high precision).
+ */
+MatrixF int8Attention(const MatrixF &q, const MatrixF &k,
+                      const MatrixF &v, float scale,
+                      bool causal = false);
+
+/**
+ * Masked dense attention: rows of @p keep flag which keys participate
+ * per query row. Used to evaluate any pruning decision functionally.
+ */
+MatrixF maskedAttention(const MatrixF &q, const MatrixF &k,
+                        const MatrixF &v, float scale,
+                        const Matrix<uint8_t> &keep);
+
+} // namespace pade
+
+#endif // PADE_ATTENTION_REFERENCE_H

@@ -1,0 +1,254 @@
+#include "baselines/accelerators.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "energy/tech.h"
+
+namespace pade {
+
+namespace {
+
+/**
+ * Union factor: the executor fetches the union of the rows' retained
+ * keys; vital tokens overlap heavily across the block's rows, so the
+ * union is ~1.5x a single row's keep rate (bounded by 1).
+ */
+double
+unionKeep(double keep_rate)
+{
+    return std::min(1.0, 1.5 * keep_rate);
+}
+
+/** Dense executor phase over a fraction of the keys. */
+Phase
+executorPhase(const AttentionDims &d, double keep, double key_frac)
+{
+    Phase ex;
+    // QK^T on retained pairs plus P*V on retained pairs.
+    ex.mac_ops = 2.0 * keep * d.pairs() * d.h;
+    ex.mac_bits = d.exec_bits;
+    // Softmax exponentials on retained scores.
+    ex.special_pj = keep * d.pairs() * tech::kFp16ExpPj;
+    ex.special_ops = keep * d.pairs() / 16.0;
+    // K and V rows of the key-union at executor precision; Q + output.
+    const double kv_bytes = 2.0 * key_frac * d.s * d.h *
+        (d.exec_bits / 8.0);
+    ex.dram_bytes = kv_bytes + 2.0 * d.p * d.h;
+    ex.sram_bytes = 2.0 * ex.dram_bytes;
+    return ex;
+}
+
+} // namespace
+
+BaselineOutcome
+denseAccelRun(const AttentionDims &d, const SubstrateParams &sub)
+{
+    SubstrateParams s = sub;
+    if (s.compute_efficiency == 1.0)
+        s.compute_efficiency = 0.75;
+    BaselineOutcome out;
+    out.keep_rate = 1.0;
+    const Phase ex = executorPhase(d, 1.0, 1.0);
+    out.metrics = combinePhases({{"executor", ex}}, s,
+                                d.usefulOps());
+    out.executor_pj = out.metrics.energy.total();
+    return out;
+}
+
+BaselineOutcome
+sangerRun(const AttentionDims &d, double keep_rate,
+          const SubstrateParams &sub, int pred_bits)
+{
+    SubstrateParams s = sub;
+    if (s.compute_efficiency == 1.0)
+        s.compute_efficiency = 0.50; // pack-and-split imbalance
+    BaselineOutcome out;
+    out.keep_rate = keep_rate;
+
+    Phase pred;
+    pred.mac_ops = d.pairs() * d.h; // full low-bit QK^T
+    pred.mac_bits = pred_bits;
+    // Sanger's reconfigurable array time-multiplexes predictor and
+    // executor; the 4-bit pass runs at the full-width rate.
+    pred.width_packing = false;
+    // Threshold compare per score + mask pack.
+    pred.special_pj = d.pairs() * tech::kCmp32Pj;
+    pred.special_ops = d.pairs() / 16.0;
+    // The predictor streams the full K tensor at pred_bits plus Q.
+    pred.dram_bytes = d.s * d.h * (pred_bits / 8.0) +
+        d.p * d.h * (pred_bits / 8.0);
+    pred.sram_bytes = 2.0 * pred.dram_bytes;
+
+    const Phase ex = executorPhase(d, keep_rate,
+                                   unionKeep(keep_rate));
+    out.metrics = combinePhases({{"predictor", pred},
+                                 {"executor", ex}},
+                                s, d.usefulOps());
+    out.predictor_pj = phaseEnergyPj(pred, s);
+    out.executor_pj = phaseEnergyPj(ex, s);
+    return out;
+}
+
+BaselineOutcome
+dotaRun(const AttentionDims &d, double keep_rate, int rank,
+        const SubstrateParams &sub)
+{
+    SubstrateParams s = sub;
+    if (s.compute_efficiency == 1.0)
+        s.compute_efficiency = 0.55;
+    BaselineOutcome out;
+    out.keep_rate = keep_rate;
+
+    Phase pred;
+    // Estimate scores in the low-rank space (4-bit multiplies in
+    // DOTA's detector). The K-side projection (s*h*r) is computed
+    // once per KV stream and amortized over its query blocks, so only
+    // the Q-side projection and the low-rank QK land per block.
+    pred.mac_ops = d.p * static_cast<double>(d.h) * rank +
+        d.pairs() * rank;
+    pred.mac_bits = 4;
+    pred.special_pj = d.pairs() * tech::kCmp32Pj;
+    pred.special_ops = d.pairs() / 16.0;
+    // Projected K plus full K does not need refetch: detector reads
+    // K once at 4 bits to project.
+    pred.dram_bytes = d.s * d.h * 0.5 + d.s * rank;
+    pred.sram_bytes = 2.0 * pred.dram_bytes;
+
+    const Phase ex = executorPhase(d, keep_rate,
+                                   unionKeep(keep_rate));
+    out.metrics = combinePhases({{"predictor", pred},
+                                 {"executor", ex}},
+                                s, d.usefulOps());
+    out.predictor_pj = phaseEnergyPj(pred, s);
+    out.executor_pj = phaseEnergyPj(ex, s);
+    return out;
+}
+
+BaselineOutcome
+energonRun(const AttentionDims &d, double funnel, double keep_rate,
+           const SubstrateParams &sub)
+{
+    SubstrateParams s = sub;
+    if (s.compute_efficiency == 1.0)
+        s.compute_efficiency = 0.50; // multi-round pipeline bubbles
+    BaselineOutcome out;
+    out.keep_rate = keep_rate;
+
+    Phase round1;
+    round1.mac_ops = d.pairs() * d.h;
+    round1.mac_bits = 2;
+    round1.dram_bytes = d.s * d.h * 0.25;
+    round1.sram_bytes = 2.0 * round1.dram_bytes;
+    round1.special_pj = d.pairs() * tech::kCmp32Pj;
+    round1.special_ops = d.pairs() / 16.0;
+
+    Phase round2;
+    round2.mac_ops = funnel * d.pairs() * d.h;
+    round2.mac_bits = 4;
+    round2.dram_bytes = funnel * d.s * d.h * 0.5;
+    round2.sram_bytes = 2.0 * round2.dram_bytes;
+    round2.special_pj = funnel * d.pairs() * tech::kCmp32Pj;
+
+    const Phase ex = executorPhase(d, keep_rate,
+                                   unionKeep(keep_rate));
+    out.metrics = combinePhases({{"predictor", round1},
+                                 {"predictor2", round2},
+                                 {"executor", ex}},
+                                s, d.usefulOps());
+    out.predictor_pj = phaseEnergyPj(round1, s) +
+        phaseEnergyPj(round2, s);
+    out.executor_pj = phaseEnergyPj(ex, s);
+    // Merge the two predictor rounds for reporting.
+    auto &mods = out.metrics.energy.modules;
+    mods["predictor"] += mods["predictor2"];
+    mods.erase("predictor2");
+    return out;
+}
+
+BaselineOutcome
+spattenRun(const AttentionDims &d, double keep_rate,
+           const SubstrateParams &sub)
+{
+    SubstrateParams s = sub;
+    if (s.compute_efficiency == 1.0)
+        s.compute_efficiency = 0.60;
+    BaselineOutcome out;
+    out.keep_rate = keep_rate;
+
+    // Guidance comes from previous-layer scores: no low-bit QK pass,
+    // only accumulation and a top-k sort engine.
+    Phase pred;
+    pred.special_pj = d.pairs() * tech::kInt32AddPj +
+        d.s * std::log2(std::max(2.0, static_cast<double>(d.s))) *
+        tech::kSortCmpPj;
+    pred.special_ops = d.pairs() / 16.0 +
+        d.s * std::log2(std::max(2.0, static_cast<double>(d.s))) /
+        16.0;
+    pred.dram_bytes = d.s * 1.0; // importance vector spill/reload
+    pred.sram_bytes = 2.0 * pred.dram_bytes;
+
+    const Phase ex = executorPhase(d, keep_rate,
+                                   unionKeep(keep_rate));
+    out.metrics = combinePhases({{"predictor", pred},
+                                 {"executor", ex}},
+                                s, d.usefulOps());
+    out.predictor_pj = phaseEnergyPj(pred, s);
+    out.executor_pj = phaseEnergyPj(ex, s);
+    return out;
+}
+
+BaselineOutcome
+sofaRun(const AttentionDims &d, double keep_rate,
+        const SubstrateParams &sub)
+{
+    SubstrateParams s = sub;
+    if (s.compute_efficiency == 1.0)
+        s.compute_efficiency = 0.65; // cross-stage tiling helps
+    BaselineOutcome out;
+    out.keep_rate = keep_rate;
+
+    Phase pred;
+    // Log-domain differential prediction: shift-adds over the full
+    // pair space on 4-bit log-encoded K; a shift-add engine packs
+    // about 2x the density of int8 MACs in the same area.
+    pred.special_pj = d.pairs() * d.h * tech::kLogShiftPj +
+        d.s * std::log2(std::max(2.0, static_cast<double>(d.s))) *
+        tech::kSortCmpPj;
+    pred.special_ops = d.pairs() * d.h / 2.0;
+    pred.dram_bytes = d.s * d.h * 0.5 + d.p * d.h * 0.5;
+    pred.sram_bytes = 2.0 * pred.dram_bytes;
+
+    Phase ex = executorPhase(d, keep_rate, unionKeep(keep_rate));
+    // Cross-stage coordinated tiling halves the executor's SRAM
+    // traffic and avoids score spills.
+    ex.sram_bytes *= 0.5;
+
+    out.metrics = combinePhases({{"predictor", pred},
+                                 {"executor", ex}},
+                                s, d.usefulOps());
+    out.predictor_pj = phaseEnergyPj(pred, s);
+    out.executor_pj = phaseEnergyPj(ex, s);
+    return out;
+}
+
+BaselineOutcome
+runBaselineByName(const std::string &name, const AttentionDims &d,
+                  double keep_rate, const SubstrateParams &sub)
+{
+    if (name == "Dense")
+        return denseAccelRun(d, sub);
+    if (name == "Sanger")
+        return sangerRun(d, keep_rate, sub);
+    if (name == "DOTA")
+        return dotaRun(d, keep_rate, 16, sub);
+    if (name == "Energon")
+        return energonRun(d, 0.25, keep_rate, sub);
+    if (name == "SpAtten" || name == "SpAtten*")
+        return spattenRun(d, keep_rate, sub);
+    if (name == "SOFA")
+        return sofaRun(d, keep_rate, sub);
+    throw std::out_of_range("unknown baseline: " + name);
+}
+
+} // namespace pade

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Behavioural cost models of the SOTA attention accelerators the paper
+ * compares against (Table I, §VI): a dense ASIC, Sanger, DOTA, Energon,
+ * SpAtten and SOFA. Each model follows its published mechanism on the
+ * shared substrate; keep rates come from the functional predictors in
+ * predictors.h calibrated at matched accuracy.
+ */
+
+#ifndef PADE_BASELINES_ACCELERATORS_H
+#define PADE_BASELINES_ACCELERATORS_H
+
+#include <string>
+
+#include "arch/run_metrics.h"
+#include "baselines/analytic.h"
+
+namespace pade {
+
+/** Block dimensions a baseline is evaluated on. */
+struct AttentionDims
+{
+    int p = 8;        //!< query rows in the block
+    int s = 2048;     //!< keys
+    int h = 128;      //!< head dimension
+    int exec_bits = 8;
+
+    double pairs() const { return static_cast<double>(p) * s; }
+    /** Dense-equivalent useful ops (QK^T + PV, 2 ops per MAC). */
+    double usefulOps() const { return 4.0 * pairs() * h; }
+};
+
+/** Baseline run plus the predictor/executor energy split (Fig. 2). */
+struct BaselineOutcome
+{
+    RunMetrics metrics;
+    double predictor_pj = 0.0;
+    double executor_pj = 0.0; //!< compute+mem energy of execution
+    double keep_rate = 1.0;
+};
+
+/** Dense attention ASIC (no sparsity). */
+BaselineOutcome denseAccelRun(const AttentionDims &d,
+                              const SubstrateParams &sub = {});
+
+/** Sanger: 4-bit MSB predictor + threshold, reconfigurable executor. */
+BaselineOutcome sangerRun(const AttentionDims &d, double keep_rate,
+                          const SubstrateParams &sub = {},
+                          int pred_bits = 4);
+
+/** DOTA: low-rank approximation predictor (rank r). */
+BaselineOutcome dotaRun(const AttentionDims &d, double keep_rate,
+                        int rank = 16,
+                        const SubstrateParams &sub = {});
+
+/** Energon: progressive mix-precision filtering (2-bit funnel + 4-bit). */
+BaselineOutcome energonRun(const AttentionDims &d, double funnel,
+                           double keep_rate,
+                           const SubstrateParams &sub = {});
+
+/**
+ * SpAtten: cascade token pruning guided by previous-layer scores with
+ * top-k sorting; no low-bit predictor pass, but un-finetuned guidance
+ * needs a larger keep rate at matched accuracy (the caller calibrates
+ * that through noisyTopkMask).
+ */
+BaselineOutcome spattenRun(const AttentionDims &d, double keep_rate,
+                           const SubstrateParams &sub = {});
+
+/** SOFA: log-domain predictor + top-k with cross-stage tiling. */
+BaselineOutcome sofaRun(const AttentionDims &d, double keep_rate,
+                        const SubstrateParams &sub = {});
+
+/** Look up a baseline by paper name; keep/funnel knobs as applicable. */
+BaselineOutcome runBaselineByName(const std::string &name,
+                                  const AttentionDims &d,
+                                  double keep_rate,
+                                  const SubstrateParams &sub = {});
+
+} // namespace pade
+
+#endif // PADE_BASELINES_ACCELERATORS_H

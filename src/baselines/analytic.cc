@@ -1,0 +1,74 @@
+#include "baselines/analytic.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "energy/tech.h"
+
+namespace pade {
+
+double
+macPj(double bits)
+{
+    // Anchored at INT8 = 0.14 pJ with ~(w/8)^1.7 energy scaling:
+    // 16b ~0.45, 12b ~0.28, 4b ~0.04, 2b ~0.013.
+    return tech::kInt8MacPj * std::pow(bits / 8.0, 1.7);
+}
+
+double
+phaseTimeNs(const Phase &ph, const SubstrateParams &sub)
+{
+    // Low-bit MACs pack proportionally more lanes into the same area
+    // (when the design supports packing).
+    const double width_factor = ph.width_packing ?
+        8.0 / std::max(ph.mac_bits, 1.0) : 1.0;
+    const double macs_per_ns = sub.macs_per_cycle * width_factor *
+        sub.clock_ghz;
+    const double eff = clampTo(sub.compute_efficiency, 0.05, 1.0);
+    const double compute_ns =
+        (ph.mac_ops / std::max(macs_per_ns, 1e-9) +
+         ph.special_ops / (sub.macs_per_cycle * sub.clock_ghz)) / eff;
+    // Achieved DRAM bandwidth for these access patterns is well below
+    // peak (row conflicts, read/write turnaround): ~60% is typical.
+    const double mem_ns = ph.dram_bytes /
+        std::max(0.6 * sub.bw_bytes_per_ns, 1e-9);
+    return std::max(compute_ns, mem_ns);
+}
+
+double
+phaseEnergyPj(const Phase &ph, const SubstrateParams &sub)
+{
+    return ph.mac_ops * macPj(ph.mac_bits) + ph.special_pj +
+        ph.dram_bytes * 8.0 * sub.dram_pj_per_bit +
+        ph.sram_bytes * sub.sram_pj_per_byte;
+}
+
+RunMetrics
+combinePhases(const std::vector<std::pair<std::string, Phase>> &phases,
+              const SubstrateParams &sub, double useful_ops)
+{
+    RunMetrics m;
+    m.useful_ops = useful_ops;
+    for (const auto &[name, ph] : phases) {
+        m.time_ns += phaseTimeNs(ph, sub);
+        m.dram_bytes += static_cast<uint64_t>(ph.dram_bytes);
+        m.sram_bytes += static_cast<uint64_t>(ph.sram_bytes);
+        m.energy.add(name,
+                     ph.mac_ops * macPj(ph.mac_bits) + ph.special_pj,
+                     &EnergyBreakdown::compute_pj);
+        m.energy.add("dram", ph.dram_bytes * 8.0 * sub.dram_pj_per_bit,
+                     &EnergyBreakdown::dram_pj);
+        m.energy.add("buffers", ph.sram_bytes * sub.sram_pj_per_byte,
+                     &EnergyBreakdown::sram_pj);
+    }
+    m.energy.add("static", tech::kAsicIdlePjPerNs * m.time_ns,
+                 &EnergyBreakdown::other_pj);
+    m.cycles = m.time_ns * sub.clock_ghz;
+    m.qk_cycles = m.cycles;
+    m.bw_utilization = m.time_ns > 0.0 ? std::min(
+        1.0, static_cast<double>(m.dram_bytes) /
+        (sub.bw_bytes_per_ns * m.time_ns)) : 0.0;
+    return m;
+}
+
+} // namespace pade

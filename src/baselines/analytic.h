@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared analytic cost substrate for the baseline accelerators.
+ *
+ * The paper normalizes every design to the same process (28 nm), clock
+ * (800 MHz), PE-array area, SRAM capacity (352 KB) and HBM bandwidth
+ * (256 GB/s @ 4 pJ/bit). We mirror that: each baseline is a sequence of
+ * phases (predictor pass, executor pass, ...) costed against one
+ * substrate with value-level MAC throughput equal to PADE's PE-array
+ * area budget.
+ */
+
+#ifndef PADE_BASELINES_ANALYTIC_H
+#define PADE_BASELINES_ANALYTIC_H
+
+#include "arch/run_metrics.h"
+
+namespace pade {
+
+/** Area/bandwidth-normalized substrate (paper §VI-A). */
+struct SubstrateParams
+{
+    /** INT8 value MACs per cycle in the shared PE-area budget. */
+    double macs_per_cycle = 1024.0;
+    double clock_ghz = 0.8;
+    double bw_bytes_per_ns = 256.0; //!< 256 GB/s HBM
+    double dram_pj_per_bit = 4.0;
+    double sram_pj_per_byte = 0.6;
+    /**
+     * Achieved fraction of peak compute (load imbalance, scheduling
+     * bubbles); set per design from its published utilization class.
+     */
+    double compute_efficiency = 1.0;
+};
+
+/** One execution phase: compute and memory demand. */
+struct Phase
+{
+    double mac_ops = 0.0;      //!< MAC-equivalent operations
+    double mac_bits = 8;       //!< operand width of those MACs
+    /**
+     * Whether narrow operands pack proportionally more lanes into the
+     * area budget. Bit-parallel reconfigurable arrays (Sanger's
+     * pack-and-split) run low-bit predictors at full-width rate.
+     */
+    bool width_packing = true;
+    double special_pj = 0.0;   //!< non-MAC energy (exp, sort, shift)
+    double special_ops = 0.0;  //!< non-MAC op count (for time)
+    double dram_bytes = 0.0;
+    double sram_bytes = 0.0;   //!< staged through on-chip buffers
+};
+
+/** Energy of one MAC at a given operand width (28 nm scaling). */
+double macPj(double bits);
+
+/** Time in ns for a phase on the substrate (compute/memory overlap). */
+double phaseTimeNs(const Phase &ph, const SubstrateParams &sub);
+
+/** Energy in pJ for a phase. */
+double phaseEnergyPj(const Phase &ph, const SubstrateParams &sub);
+
+/**
+ * Fold a list of (name, phase) into RunMetrics; module names keep the
+ * predictor/executor split the Fig. 2 analysis needs. Phases run
+ * back-to-back (the stage-splitting pipeline the paper describes).
+ */
+RunMetrics
+combinePhases(const std::vector<std::pair<std::string, Phase>> &phases,
+              const SubstrateParams &sub, double useful_ops);
+
+} // namespace pade
+
+#endif // PADE_BASELINES_ANALYTIC_H

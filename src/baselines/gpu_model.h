@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Roofline model of the Nvidia H100 GPU running attention, matching
+ * the paper's GPU comparison methodology (§VI-A): TensorRT-LLM with
+ * FlashAttention3, dedicated GPU, dynamic power. Variants model the
+ * paper's Fig. 18(b) software ports: BUI-GF pruning in software (no
+ * bit-level early termination possible on GPU) with and without FA3
+ * tiling, and the software sparse-attention methods of Fig. 15.
+ */
+
+#ifndef PADE_BASELINES_GPU_MODEL_H
+#define PADE_BASELINES_GPU_MODEL_H
+
+#include "arch/run_metrics.h"
+#include "baselines/accelerators.h"
+
+namespace pade {
+
+/** GPU attention execution options. */
+struct GpuOptions
+{
+    bool fa3 = true;       //!< FlashAttention-style tiling
+    bool int8 = true;      //!< INT8 tensor-core path
+    bool causal = true;    //!< causal prefill (halves the pair count)
+    /** Fraction of PV work kept by software sparsity (1 = dense). */
+    double keep_rate = 1.0;
+    /**
+     * Software predictor cost in full-QK-pass equivalents: BUI-GF on
+     * GPU needs one full pass (no early termination), StreamingLLM ~0,
+     * DoubleSparsity ~1/8 (channel subset), MInference ~1/16 (coarse
+     * pattern search).
+     */
+    double predictor_pass_frac = 0.0;
+    /** Gather/scatter inefficiency multiplier for sparse execution. */
+    double sparse_overhead = 1.6;
+    /**
+     * Independent replicas batched on the chip (heads x layers x
+     * sequences): flops and bytes scale, the roofline is applied to
+     * the aggregate (the GPU overlaps heads across SMs).
+     */
+    double replicas = 1.0;
+};
+
+/** Simulate one attention block (p queries x s keys x h dims). */
+RunMetrics gpuAttention(const AttentionDims &d, const GpuOptions &opt);
+
+/** Convenience: dense FA3 INT8 H100 run (the paper's GPU baseline). */
+RunMetrics gpuDense(const AttentionDims &d);
+
+/** GPU + software BUI-GF (paper Fig. 18(b), with/without FA3). */
+RunMetrics gpuBuiGf(const AttentionDims &d, double keep_rate, bool fa3);
+
+/**
+ * Whole-model GPU attention: prefill runs seq_len queries per head
+ * (causal), decode runs @p decode_steps single-query steps; heads and
+ * layers batch as replicas.
+ */
+RunMetrics gpuModelAttention(const ModelConfig &model,
+                             const DatasetConfig &dataset,
+                             GpuOptions opt, bool decode = false,
+                             int decode_steps = 1);
+
+} // namespace pade
+
+#endif // PADE_BASELINES_GPU_MODEL_H

@@ -1,0 +1,297 @@
+#include "baselines/predictors.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "attention/metrics.h"
+#include "attention/reference.h"
+#include "common/rng.h"
+#include "quant/quantizer.h"
+
+namespace pade {
+
+namespace {
+
+/** Keep mask from an estimate matrix: est >= rowmax(est) - margin. */
+Matrix<uint8_t>
+thresholdMask(const MatrixF &est, double margin)
+{
+    Matrix<uint8_t> keep(est.rows(), est.cols());
+    for (int i = 0; i < est.rows(); i++) {
+        float mx = est.at(i, 0);
+        for (float v : est.row(i))
+            mx = std::max(mx, v);
+        const float cut = mx - static_cast<float>(margin);
+        for (int j = 0; j < est.cols(); j++)
+            keep.at(i, j) = est.at(i, j) >= cut ? 1 : 0;
+    }
+    return keep;
+}
+
+/** Keep mask of the per-row top-k entries of an estimate. */
+Matrix<uint8_t>
+topkMask(const MatrixF &est, int k)
+{
+    Matrix<uint8_t> keep(est.rows(), est.cols());
+    k = std::min(k, est.cols());
+    std::vector<int> idx(est.cols());
+    for (int i = 0; i < est.rows(); i++) {
+        std::iota(idx.begin(), idx.end(), 0);
+        auto row = est.row(i);
+        std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                          [&row](int a, int b) {
+                              return row[a] > row[b];
+                          });
+        for (int t = 0; t < k; t++)
+            keep.at(i, idx[t]) = 1;
+    }
+    return keep;
+}
+
+} // namespace
+
+MaskOutcome
+finalizeMask(const AttentionHead &head, Matrix<uint8_t> keep)
+{
+    MaskOutcome out;
+    const MatrixF logits = attentionLogits(head.q, head.k, head.scale);
+    out.retained_mass = retainedMass(logits, keep);
+    out.keep_rate = 1.0 - prunedFraction(keep);
+    out.keep = std::move(keep);
+    return out;
+}
+
+MaskOutcome
+lowBitMask(const AttentionHead &head, int est_bits, double margin)
+{
+    const Quantized qq = quantizeSymmetric(head.q, est_bits);
+    const Quantized kq = quantizeSymmetric(head.k, est_bits);
+    MatrixI32 si = matmulBt<int8_t, int8_t, int32_t>(qq.values,
+                                                     kq.values);
+    MatrixF est(si.rows(), si.cols());
+    const float deq = qq.params.scale * kq.params.scale * head.scale;
+    for (int i = 0; i < si.rows(); i++)
+        for (int j = 0; j < si.cols(); j++)
+            est.at(i, j) = deq * static_cast<float>(si.at(i, j));
+    return finalizeMask(head, thresholdMask(est, margin));
+}
+
+MaskOutcome
+lowRankMask(const AttentionHead &head, int rank, double margin,
+            uint64_t seed)
+{
+    const int h = head.q.cols();
+    Rng rng(seed);
+    // Random sign projection P (h x rank), scaled 1/sqrt(rank).
+    MatrixF proj(h, rank);
+    const float s = 1.0f / std::sqrt(static_cast<float>(rank));
+    for (int d = 0; d < h; d++)
+        for (int r = 0; r < rank; r++)
+            proj.at(d, r) = rng.bernoulli(0.5) ? s : -s;
+
+    const MatrixF qp = matmul<float, float, float>(head.q, proj);
+    const MatrixF kp = matmul<float, float, float>(head.k, proj);
+    MatrixF est = matmulBt<float, float, float>(qp, kp);
+    for (int i = 0; i < est.rows(); i++)
+        for (float &v : est.row(i))
+            v *= head.scale;
+    return finalizeMask(head, thresholdMask(est, margin));
+}
+
+MaskOutcome
+progressiveMask(const AttentionHead &head, double funnel, double margin)
+{
+    assert(funnel > 0.0 && funnel <= 1.0);
+    // Stage 1: 2-bit coarse estimate keeps the top `funnel` fraction.
+    const Quantized q2 = quantizeSymmetric(head.q, 2);
+    const Quantized k2 = quantizeSymmetric(head.k, 2);
+    MatrixI32 s2 = matmulBt<int8_t, int8_t, int32_t>(q2.values,
+                                                     k2.values);
+    // Stage 2: 4-bit refinement with a margin threshold, applied only
+    // to stage-1 survivors.
+    const Quantized q4 = quantizeSymmetric(head.q, 4);
+    const Quantized k4 = quantizeSymmetric(head.k, 4);
+    const float deq4 = q4.params.scale * k4.params.scale * head.scale;
+
+    const int s = head.k.rows();
+    const int keep1 = std::max(1, static_cast<int>(funnel * s));
+    Matrix<uint8_t> keep(head.q.rows(), s);
+    std::vector<int> idx(s);
+    for (int i = 0; i < head.q.rows(); i++) {
+        std::iota(idx.begin(), idx.end(), 0);
+        std::partial_sort(idx.begin(), idx.begin() + keep1, idx.end(),
+                          [&s2, i](int a, int b) {
+                              return s2.at(i, a) > s2.at(i, b);
+                          });
+        float mx = -1e30f;
+        std::vector<float> refined(keep1);
+        for (int t = 0; t < keep1; t++) {
+            int64_t acc = 0;
+            for (int d = 0; d < head.q.cols(); d++)
+                acc += static_cast<int64_t>(q4.values.at(i, d)) *
+                       k4.values.at(idx[t], d);
+            refined[t] = deq4 * static_cast<float>(acc);
+            mx = std::max(mx, refined[t]);
+        }
+        for (int t = 0; t < keep1; t++)
+            if (refined[t] >= mx - margin)
+                keep.at(i, idx[t]) = 1;
+    }
+    return finalizeMask(head, std::move(keep));
+}
+
+MaskOutcome
+noisyTopkMask(const AttentionHead &head, int k, double noise_sigma,
+              uint64_t seed)
+{
+    // "Previous layer" importance: true column probability mass plus
+    // noise (layers differ, so un-finetuned guidance is noisy).
+    const MatrixF logits = attentionLogits(head.q, head.k, head.scale);
+    Rng rng(seed);
+    MatrixF est(logits.rows(), logits.cols());
+    for (int i = 0; i < logits.rows(); i++) {
+        std::vector<float> probs(logits.row(i).begin(),
+                                 logits.row(i).end());
+        softmaxRow(probs);
+        for (int j = 0; j < logits.cols(); j++) {
+            const double lp = std::log(
+                std::max(1e-20f, probs[j]));
+            est.at(i, j) = static_cast<float>(
+                lp + rng.gaussian(0.0, noise_sigma));
+        }
+    }
+    return finalizeMask(head, topkMask(est, k));
+}
+
+MaskOutcome
+logDomainTopkMask(const AttentionHead &head, int k)
+{
+    // Leading-one quantization: |x| -> 2^floor(log2|x|), sign kept.
+    auto leadingOne = [](float v) {
+        if (v == 0.0f)
+            return 0.0f;
+        const float mag = std::exp2(std::floor(std::log2(
+            std::fabs(v))));
+        return v > 0.0f ? mag : -mag;
+    };
+    MatrixF ql(head.q.rows(), head.q.cols());
+    MatrixF kl(head.k.rows(), head.k.cols());
+    for (int i = 0; i < head.q.rows(); i++)
+        for (int d = 0; d < head.q.cols(); d++)
+            ql.at(i, d) = leadingOne(head.q.at(i, d));
+    for (int j = 0; j < head.k.rows(); j++)
+        for (int d = 0; d < head.k.cols(); d++)
+            kl.at(j, d) = leadingOne(head.k.at(j, d));
+    MatrixF est = matmulBt<float, float, float>(ql, kl);
+    return finalizeMask(head, topkMask(est, k));
+}
+
+MaskOutcome
+streamingLlmMask(const AttentionHead &head, int sink, int window)
+{
+    const int s = head.k.rows();
+    Matrix<uint8_t> keep(head.q.rows(), s);
+    for (int i = 0; i < head.q.rows(); i++) {
+        for (int j = 0; j < std::min(sink, s); j++)
+            keep.at(i, j) = 1;
+        for (int j = std::max(0, s - window); j < s; j++)
+            keep.at(i, j) = 1;
+    }
+    return finalizeMask(head, std::move(keep));
+}
+
+MaskOutcome
+minferenceMask(const AttentionHead &head, int sink, int window,
+               double block_frac)
+{
+    const int s = head.k.rows();
+    const int block = 64;
+    const int nblocks = (s + block - 1) / block;
+    const int keep_blocks = std::max(
+        1, static_cast<int>(block_frac * nblocks));
+
+    // Coarse estimate: mean-query dot per block (the "vertical-slash"
+    // style pattern search).
+    const MatrixF logits = attentionLogits(head.q, head.k, head.scale);
+    Matrix<uint8_t> keep(head.q.rows(), s);
+    std::vector<std::pair<float, int>> block_score(nblocks);
+    for (int i = 0; i < head.q.rows(); i++) {
+        for (int b = 0; b < nblocks; b++) {
+            float sum = 0.0f;
+            const int hi = std::min(s, (b + 1) * block);
+            for (int j = b * block; j < hi; j++)
+                sum += logits.at(i, j);
+            block_score[b] = {sum / (hi - b * block), b};
+        }
+        std::partial_sort(block_score.begin(),
+                          block_score.begin() + keep_blocks,
+                          block_score.end(),
+                          [](const auto &a, const auto &b) {
+                              return a.first > b.first;
+                          });
+        for (int t = 0; t < keep_blocks; t++) {
+            const int b = block_score[t].second;
+            const int hi = std::min(s, (b + 1) * block);
+            for (int j = b * block; j < hi; j++)
+                keep.at(i, j) = 1;
+        }
+        for (int j = 0; j < std::min(sink, s); j++)
+            keep.at(i, j) = 1;
+        for (int j = std::max(0, s - window); j < s; j++)
+            keep.at(i, j) = 1;
+    }
+    return finalizeMask(head, std::move(keep));
+}
+
+MaskOutcome
+doubleSparsityMask(const AttentionHead &head, int channels, int k,
+                   uint64_t seed)
+{
+    const int h = head.q.cols();
+    channels = std::min(channels, h);
+    // Pick the highest-magnitude key channels (offline calibration in
+    // the real system); a seeded shuffle breaks ties.
+    std::vector<double> mag(h, 0.0);
+    for (int j = 0; j < head.k.rows(); j++)
+        for (int d = 0; d < h; d++)
+            mag[d] += std::fabs(head.k.at(j, d));
+    std::vector<int> chan(h);
+    std::iota(chan.begin(), chan.end(), 0);
+    Rng rng(seed);
+    for (int d = h - 1; d > 0; d--)
+        std::swap(chan[d], chan[rng.below(d + 1)]);
+    std::stable_sort(chan.begin(), chan.end(), [&mag](int a, int b) {
+        return mag[a] > mag[b];
+    });
+
+    MatrixF est(head.q.rows(), head.k.rows());
+    for (int i = 0; i < head.q.rows(); i++) {
+        for (int j = 0; j < head.k.rows(); j++) {
+            float acc = 0.0f;
+            for (int c = 0; c < channels; c++)
+                acc += head.q.at(i, chan[c]) * head.k.at(j, chan[c]);
+            est.at(i, j) = acc;
+        }
+    }
+    return finalizeMask(head, topkMask(est, k));
+}
+
+double
+calibrateKnob(const std::function<MaskOutcome(double)> &fn,
+              double target_mass, double lo, double hi, int iters)
+{
+    if (fn(lo).retained_mass >= target_mass)
+        return lo;
+    for (int i = 0; i < iters; i++) {
+        const double mid = 0.5 * (lo + hi);
+        if (fn(mid).retained_mass >= target_mass)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+} // namespace pade

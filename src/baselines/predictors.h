@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Functional sparsity predictors of the baseline designs.
+ *
+ * Every comparison in the paper is at matched accuracy ("0% / 1%
+ * loss"), so each baseline's keep-set must come from *its own
+ * mechanism*, evaluated on the same workload, with its budget knob
+ * calibrated to the target retained softmax mass:
+ *
+ *  - Sanger: 4-bit MSB Q.K estimate, row threshold (margin knob)
+ *  - DOTA: low-rank projected estimate, row threshold
+ *  - Energon: progressive mix-precision filtering (2-bit funnel then
+ *    4-bit margin)
+ *  - SpAtten / DTATrans: top-k on the previous layer's accumulated
+ *    scores — modelled as the true importance plus noise, with the
+ *    noise removed when "finetuned"
+ *  - SOFA: log-domain (leading-one) estimate + top-k
+ *  - StreamingLLM: static sink + sliding window
+ *  - MInference-style: sink + window + coarse block-level top-k
+ *  - DoubleSparsity-style: channel-subset estimate + top-k
+ *
+ * Calibration helpers binary-search each knob for a retained-mass
+ * target against the FP32 logits oracle.
+ */
+
+#ifndef PADE_BASELINES_PREDICTORS_H
+#define PADE_BASELINES_PREDICTORS_H
+
+#include <functional>
+
+#include "tensor/matrix.h"
+#include "workload/generator.h"
+
+namespace pade {
+
+/** A predictor's keep decision plus its quality metrics. */
+struct MaskOutcome
+{
+    Matrix<uint8_t> keep;
+    double keep_rate = 1.0;     //!< kept fraction of (q, k) pairs
+    double retained_mass = 1.0; //!< softmax mass under FP32 oracle
+};
+
+/** Sanger-style: low-bit estimate, keep if within margin of row max. */
+MaskOutcome lowBitMask(const AttentionHead &head, int est_bits,
+                       double margin);
+
+/** DOTA-style: random-projection low-rank estimate with margin. */
+MaskOutcome lowRankMask(const AttentionHead &head, int rank,
+                        double margin, uint64_t seed = 99);
+
+/**
+ * Energon-style progressive filtering: a 2-bit pass keeps the top
+ * @p funnel fraction, then a 4-bit pass applies @p margin.
+ */
+MaskOutcome progressiveMask(const AttentionHead &head, double funnel,
+                            double margin);
+
+/**
+ * SpAtten/DTATrans-style: top-k per row on importance = true column
+ * mass + Gaussian noise of @p noise_sigma (0 = finetuned quality).
+ */
+MaskOutcome noisyTopkMask(const AttentionHead &head, int k,
+                          double noise_sigma, uint64_t seed = 7);
+
+/** SOFA-style: leading-one (power-of-two) log-domain estimate, top-k. */
+MaskOutcome logDomainTopkMask(const AttentionHead &head, int k);
+
+/** StreamingLLM: static sink tokens + recency window. */
+MaskOutcome streamingLlmMask(const AttentionHead &head, int sink,
+                             int window);
+
+/**
+ * MInference-style: sink + window plus block-granular dynamic top
+ * blocks (block size 64) from a coarse estimate.
+ */
+MaskOutcome minferenceMask(const AttentionHead &head, int sink,
+                           int window, double block_frac);
+
+/**
+ * DoubleSparsity-style: estimate scores from @p channels of the head
+ * dimension, then top-k per row.
+ */
+MaskOutcome doubleSparsityMask(const AttentionHead &head, int channels,
+                               int k, uint64_t seed = 13);
+
+/** Fill quality metrics of an externally produced mask. */
+MaskOutcome finalizeMask(const AttentionHead &head,
+                         Matrix<uint8_t> keep);
+
+/**
+ * Binary-search a monotone budget knob in [lo, hi] for the smallest
+ * value whose mask reaches @p target_mass. Returns the knob value.
+ */
+double calibrateKnob(const std::function<MaskOutcome(double)> &fn,
+                     double target_mass, double lo, double hi,
+                     int iters = 10);
+
+} // namespace pade
+
+#endif // PADE_BASELINES_PREDICTORS_H

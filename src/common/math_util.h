@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Small math helpers shared across the simulator and the core library.
+ */
+
+#ifndef PADE_COMMON_MATH_UTIL_H
+#define PADE_COMMON_MATH_UTIL_H
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pade {
+
+/** Integer ceiling division for non-negative operands. */
+constexpr int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    assert(b > 0);
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b. */
+constexpr int64_t
+roundUp(int64_t a, int64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+/** Clamp @p v into [lo, hi]. */
+template <typename T>
+constexpr T
+clampTo(T v, T lo, T hi)
+{
+    return std::min(std::max(v, lo), hi);
+}
+
+/** Saturating cast of a float to int8 range. */
+inline int8_t
+saturateInt8(float v)
+{
+    const float r = v < 0.0f ? v - 0.5f : v + 0.5f;
+    return static_cast<int8_t>(clampTo(static_cast<int>(r), -128, 127));
+}
+
+/** Population count of a 64-bit word. */
+constexpr int
+popcount64(uint64_t v)
+{
+    return __builtin_popcountll(v);
+}
+
+/** True iff @p v is a power of two (v > 0). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+constexpr int
+log2Exact(uint64_t v)
+{
+    assert(isPow2(v));
+    return 63 - __builtin_clzll(v);
+}
+
+/** Arithmetic mean of a vector (0 for empty). */
+inline double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : v)
+        s += x;
+    return s / static_cast<double>(v.size());
+}
+
+/** Geometric mean of strictly positive values (0 for empty). */
+double geoMean(const std::vector<double> &v);
+
+} // namespace pade
+
+#endif // PADE_COMMON_MATH_UTIL_H

@@ -1,0 +1,119 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/math_util.h"
+
+namespace pade {
+
+void
+Distribution::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    count_++;
+    sum_ += v;
+    sum_sq_ += v * v;
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    sum_sq_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+double
+Distribution::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ < 2)
+        return 0.0;
+    const double n = static_cast<double>(count_);
+    const double var = std::max(0.0, sum_sq_ / n - (sum_ / n) * (sum_ / n));
+    return std::sqrt(var);
+}
+
+Scalar &
+StatGroup::scalar(const std::string &name)
+{
+    return scalars_[name];
+}
+
+Distribution &
+StatGroup::distribution(const std::string &name)
+{
+    return dists_[name];
+}
+
+double
+StatGroup::get(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? 0.0 : it->second.value();
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    return scalars_.count(name) != 0;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &kv : scalars_)
+        kv.second.reset();
+    for (auto &kv : dists_)
+        kv.second.reset();
+}
+
+void
+StatGroup::mergeFrom(const StatGroup &other)
+{
+    for (const auto &kv : other.scalars_)
+        scalars_[kv.first] += kv.second.value();
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &kv : scalars_)
+        os << name_ << "." << kv.first << " = " << kv.second.value()
+           << "\n";
+    for (const auto &kv : dists_) {
+        os << name_ << "." << kv.first << " = {mean="
+           << kv.second.mean() << ", min=" << kv.second.min()
+           << ", max=" << kv.second.max() << ", n=" << kv.second.count()
+           << "}\n";
+    }
+    return os.str();
+}
+
+double
+geoMean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : v)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+} // namespace pade

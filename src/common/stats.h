@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Lightweight named-statistics registry, in the spirit of gem5's stats
+ * package but sized for this project: scalar counters, accumulating
+ * energies, and simple distributions, all addressable by dotted names.
+ *
+ * Every architectural component owns a StatGroup; the top-level simulator
+ * aggregates them into a single report that the bench harnesses print.
+ */
+
+#ifndef PADE_COMMON_STATS_H
+#define PADE_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pade {
+
+/** A scalar statistic: counter or accumulator. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    void operator+=(double v) { value_ += v; }
+    void operator++(int) { value_ += 1.0; }
+    void set(double v) { value_ = v; }
+    void reset() { value_ = 0.0; }
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Running distribution: min / max / mean / stddev / count. */
+class Distribution
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    uint64_t count() const { return count_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const;
+    double stddev() const;
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A named group of statistics. Components create named scalars and
+ * distributions; groups can be dumped or merged for reporting.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Get-or-create a scalar statistic. */
+    Scalar &scalar(const std::string &name);
+    /** Get-or-create a distribution statistic. */
+    Distribution &distribution(const std::string &name);
+
+    /** Read a scalar's value; 0 if absent. */
+    double get(const std::string &name) const;
+    /** True if a scalar with this name exists. */
+    bool has(const std::string &name) const;
+
+    /** Reset all statistics in the group. */
+    void reset();
+
+    /** Merge another group's scalars into this one (summing). */
+    void mergeFrom(const StatGroup &other);
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, Scalar> &scalars() const
+    {
+        return scalars_;
+    }
+
+    /** Render "name.stat = value" lines. */
+    std::string dump() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, Scalar> scalars_;
+    std::map<std::string, Distribution> dists_;
+};
+
+} // namespace pade
+
+#endif // PADE_COMMON_STATS_H

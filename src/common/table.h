@@ -1,0 +1,51 @@
+/**
+ * @file
+ * ASCII table printer used by the bench harnesses to emit paper-style
+ * tables and figure series on stdout.
+ */
+
+#ifndef PADE_COMMON_TABLE_H
+#define PADE_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace pade {
+
+/**
+ * Column-aligned ASCII table. Add a header row and data rows of strings
+ * or doubles; render() right-pads columns and draws a separator.
+ */
+class Table
+{
+  public:
+    /** Construct with an optional caption printed above the table. */
+    explicit Table(std::string caption = "") : caption_(std::move(caption))
+    {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+    /** Append a data row of preformatted strings. */
+    void row(std::vector<std::string> cells);
+
+    /** Format a double with @p precision decimals. */
+    static std::string num(double v, int precision = 3);
+    /** Format a double as a "1.23x" multiplier string. */
+    static std::string mult(double v, int precision = 2);
+    /** Format a fraction as "12.3%". */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render the table to a string. */
+    std::string render() const;
+    /** Render and print to stdout. */
+    void print() const;
+
+  private:
+    std::string caption_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pade
+
+#endif // PADE_COMMON_TABLE_H

@@ -1,0 +1,97 @@
+#include "core/bit_serial.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/math_util.h"
+
+namespace pade {
+
+PlaneWork
+planeWork(const BitPlaneSet &keys, int key, int plane, int subgroup,
+          int muxes)
+{
+    assert(subgroup > 0 && muxes > 0);
+    PlaneWork w;
+    w.cycles_bs = 0;
+    w.cycles_naive = 0;
+
+    const int n = keys.numCols();
+    for (int base = 0; base < n; base += subgroup) {
+        const int hi = std::min(n, base + subgroup);
+        int ones = 0;
+        for (int d = base; d < hi; d++)
+            if (keys.bit(key, plane, d))
+                ones++;
+        const int size = hi - base;
+        const int zeros = size - ones;
+        const int sel = std::min(ones, zeros);
+
+        w.selected_naive += ones;
+        w.selected_bs += sel;
+        if (zeros < ones)
+            w.zero_mode_groups++;
+
+        w.cycles_bs = std::max(w.cycles_bs,
+                               static_cast<int>(ceilDiv(sel, muxes)));
+        w.cycles_naive = std::max(
+            w.cycles_naive, static_cast<int>(ceilDiv(ones, muxes)));
+    }
+    // A plane always costs at least one cycle to issue/decide.
+    w.cycles_bs = std::max(w.cycles_bs, 1);
+    w.cycles_naive = std::max(w.cycles_naive, 1);
+    return w;
+}
+
+int64_t
+planeDelta(std::span<const int8_t> q, const BitPlaneSet &keys, int key,
+           int plane)
+{
+    assert(static_cast<int>(q.size()) == keys.numCols());
+    int64_t sum = 0;
+    auto words = keys.plane(key, plane);
+    for (int w = 0; w < keys.wordsPerPlane(); w++) {
+        uint64_t bits = words[w];
+        while (bits) {
+            const int b = __builtin_ctzll(bits);
+            sum += q[w * 64 + b];
+            bits &= bits - 1;
+        }
+    }
+    return static_cast<int64_t>(keys.planeWeight(plane)) * sum;
+}
+
+int64_t
+planeDeltaBs(std::span<const int8_t> q, const BitPlaneSet &keys, int key,
+             int plane, int subgroup)
+{
+    assert(static_cast<int>(q.size()) == keys.numCols());
+    const int n = keys.numCols();
+    int64_t sum = 0;
+    for (int base = 0; base < n; base += subgroup) {
+        const int hi = std::min(n, base + subgroup);
+        int ones = 0;
+        int64_t group_qsum = 0;
+        int64_t ones_sum = 0;
+        int64_t zeros_sum = 0;
+        for (int d = base; d < hi; d++) {
+            group_qsum += q[d];
+            if (keys.bit(key, plane, d)) {
+                ones++;
+                ones_sum += q[d];
+            } else {
+                zeros_sum += q[d];
+            }
+        }
+        const int zeros = (hi - base) - ones;
+        // Accumulate the rarer side; recover the 1-side sum via the
+        // precomputed group Qsum when operating in 0-mode.
+        if (zeros < ones)
+            sum += group_qsum - zeros_sum;
+        else
+            sum += ones_sum;
+    }
+    return static_cast<int64_t>(keys.planeWeight(plane)) * sum;
+}
+
+} // namespace pade

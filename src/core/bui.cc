@@ -1,0 +1,46 @@
+#include "core/bui.h"
+
+#include <cassert>
+
+namespace pade {
+
+BuiTable
+computeBuiTable(std::span<const int8_t> q, int bits)
+{
+    assert(bits >= 2 && bits <= BuiTable::kMaxPlanes);
+    BuiTable t;
+    t.bits = bits;
+    for (int8_t v : q) {
+        t.qsum += v;
+        if (v > 0)
+            t.qsum_pos += v;
+        else
+            t.qsum_neg += v;
+    }
+    for (int r = 0; r < bits; r++) {
+        const int64_t m = (1LL << (bits - 1 - r)) - 1;
+        t.hi[r] = m * t.qsum_pos;
+        t.lo[r] = m * t.qsum_neg;
+    }
+    return t;
+}
+
+std::pair<double, double>
+combineGroupBui(std::span<const int64_t> group_lo,
+                std::span<const int64_t> group_hi,
+                std::span<const float> group_scales)
+{
+    assert(group_lo.size() == group_hi.size() &&
+           group_lo.size() == group_scales.size());
+    double lo = 0.0;
+    double hi = 0.0;
+    for (size_t g = 0; g < group_lo.size(); g++) {
+        const double s = group_scales[g];
+        assert(s >= 0.0f);
+        lo += s * static_cast<double>(group_lo[g]);
+        hi += s * static_cast<double>(group_hi[g]);
+    }
+    return {lo, hi};
+}
+
+} // namespace pade

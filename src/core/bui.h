@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Bit-wise Uncertainty Interval (BUI) tables — paper §IV-A, Fig. 6.
+ *
+ * For a query row Q_i and a key processed through bit planes 0..r, the
+ * exact dot product is bounded by
+ *   S^r + I^{r,min}  <=  Q_i . K_j  <=  S^r + I^{r,max}
+ * where S^r assumes all unknown key bits are zero and the intervals
+ * depend only on the query:
+ *   I^{r,max} = M_r * sum(q_d | q_d > 0),
+ *   I^{r,min} = M_r * sum(q_d | q_d < 0),
+ *   M_r = 2^{p-1-r} - 1  (remaining positive bit weight).
+ * The hardware's BUI Generator precomputes the p interval pairs per
+ * query into a LUT (Fig. 11(c)); this class is that LUT.
+ */
+
+#ifndef PADE_CORE_BUI_H
+#define PADE_CORE_BUI_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace pade {
+
+/** Per-query uncertainty-interval LUT plus BS helper sums. */
+struct BuiTable
+{
+    static constexpr int kMaxPlanes = 8;
+
+    int bits = 8;
+    /** I^{r,min} (non-positive) for r = 0..bits-1. */
+    std::array<int64_t, kMaxPlanes> lo{};
+    /** I^{r,max} (non-negative) for r = 0..bits-1. */
+    std::array<int64_t, kMaxPlanes> hi{};
+    /** Sum of all query entries (bidirectional-sparsity zero mode). */
+    int64_t qsum = 0;
+    /** Sum of positive / negative entries (interval building blocks). */
+    int64_t qsum_pos = 0;
+    int64_t qsum_neg = 0;
+
+    int64_t lower(int r) const { return lo[r]; }
+    int64_t upper(int r) const { return hi[r]; }
+};
+
+/**
+ * Build the BUI table for a query row.
+ *
+ * @param q full-precision (int8) query entries
+ * @param bits key bit-width p (intervals cover planes 0..p-1)
+ */
+BuiTable computeBuiTable(std::span<const int8_t> q, int bits = 8);
+
+/**
+ * Group-wise BUI combination for MXINT-style quantization (paper
+ * Fig. 25): the overall interval is the sum of per-group intervals
+ * scaled by each group's dequantization factor.
+ *
+ * @param group_lo per-group I^{r,min} values (already per-plane r)
+ * @param group_hi per-group I^{r,max} values
+ * @param group_scales per-group combined scale (dQ*dK/dA)
+ * @return {overall_lo, overall_hi} in the output scale
+ */
+std::pair<double, double>
+combineGroupBui(std::span<const int64_t> group_lo,
+                std::span<const int64_t> group_hi,
+                std::span<const float> group_scales);
+
+} // namespace pade
+
+#endif // PADE_CORE_BUI_H

@@ -1,0 +1,141 @@
+#include "core/pade_attention.h"
+
+#include <cassert>
+
+#include "attention/online_softmax.h"
+#include "core/bit_serial.h"
+#include "core/bui.h"
+#include "core/guard_filter.h"
+
+namespace pade {
+
+std::vector<int>
+istaScanOrder(int seq_len, int tile, bool head_tail)
+{
+    assert(tile > 0);
+    const int num_tiles = (seq_len + tile - 1) / tile;
+    std::vector<int> tiles;
+    if (head_tail) {
+        tiles = headTailOrder(num_tiles);
+    } else {
+        tiles.resize(num_tiles);
+        for (int t = 0; t < num_tiles; t++)
+            tiles[t] = t;
+    }
+
+    std::vector<int> order;
+    order.reserve(seq_len);
+    for (int t : tiles) {
+        const int lo = t * tile;
+        const int hi = std::min(seq_len, lo + tile);
+        for (int j = lo; j < hi; j++)
+            order.push_back(j);
+    }
+    return order;
+}
+
+PadeResult
+padeAttention(const QuantizedHead &head, const PadeConfig &cfg)
+{
+    const int p = head.q.values.rows();
+    const int s = head.k.values.rows();
+    const int h = head.v.values.cols();
+    const int bits = head.k_planes.numPlanes();
+
+    PadeResult res;
+    res.out = MatrixF(p, h);
+    res.keep = Matrix<uint8_t>(p, s);
+    res.planes = Matrix<uint8_t>(p, s);
+    res.retained.resize(p);
+
+    const std::vector<int> order = istaScanOrder(s, cfg.tile_bc,
+                                                 cfg.head_tail);
+
+    // Per-(key, plane) work counts are query-independent; cache them
+    // lazily the first time a plane is consumed by any row.
+    std::vector<PlaneWork> work_cache(
+        static_cast<size_t>(s) * bits);
+    std::vector<uint8_t> work_ready(static_cast<size_t>(s) * bits, 0);
+    auto workFor = [&](int key, int r) -> const PlaneWork & {
+        const size_t idx = static_cast<size_t>(key) * bits + r;
+        if (!work_ready[idx]) {
+            work_cache[idx] = planeWork(head.k_planes, key, r,
+                                        cfg.subgroup, cfg.muxes);
+            work_ready[idx] = 1;
+        }
+        return work_cache[idx];
+    };
+
+    const MatrixF vf = dequantize(head.v);
+
+    for (int i = 0; i < p; i++) {
+        auto q = head.q.values.row(i);
+        const BuiTable bui = computeBuiTable(q, bits);
+        GuardFilter guard(cfg.alpha, cfg.radius, head.logit_scale);
+
+        // Absolute position of this query for causal masking: queries
+        // occupy the last p positions of the key sequence.
+        const int qpos = s - p + i;
+
+        std::vector<int64_t> retained_scores;
+        for (int j : order) {
+            if (cfg.causal && j > qpos)
+                continue;
+            res.stats.keys_total++;
+            res.stats.planes_total += bits;
+
+            int64_t score = 0;
+            bool pruned = false;
+            for (int r = 0; r < bits; r++) {
+                score += planeDelta(q, head.k_planes, j, r);
+                res.planes.at(i, j) = static_cast<uint8_t>(r + 1);
+                res.stats.planes_processed++;
+
+                const PlaneWork &w = workFor(j, r);
+                res.stats.ops_bs += w.selected_bs;
+                res.stats.ops_naive += w.selected_naive;
+
+                guard.observe(score + bui.lower(r));
+                if (cfg.guard_enabled &&
+                    guard.shouldPrune(score + bui.upper(r))) {
+                    pruned = true;
+                    break;
+                }
+            }
+            if (!pruned) {
+                res.keep.at(i, j) = 1;
+                res.stats.keys_retained++;
+                res.retained[i].push_back(j);
+                retained_scores.push_back(score);
+            }
+        }
+        res.stats.threshold_updates += guard.updates();
+
+        // ISTA value stage: online softmax over retained keys, tiled
+        // by Bc in retained (scan) order. Retained scores are exact.
+        OnlineSoftmaxRow acc(h);
+        const auto &ids = res.retained[i];
+        for (size_t base = 0; base < ids.size();
+             base += static_cast<size_t>(cfg.tile_bc)) {
+            const size_t hi = std::min(
+                ids.size(), base + static_cast<size_t>(cfg.tile_bc));
+            std::vector<float> scores;
+            std::vector<std::span<const float>> vals;
+            for (size_t t = base; t < hi; t++) {
+                scores.push_back(head.logit_scale *
+                                 static_cast<float>(retained_scores[t]));
+                vals.push_back(vf.row(ids[t]));
+            }
+            acc.update(scores, vals);
+        }
+        res.stats.max_updates += acc.maxUpdates();
+        res.stats.rescale_ops += acc.rescaleOps();
+
+        const std::vector<float> row = acc.finalize();
+        for (int d = 0; d < h; d++)
+            res.out.at(i, d) = row[d];
+    }
+    return res;
+}
+
+} // namespace pade

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Functional PADE sparse attention — the paper's full algorithm stack
+ * (BSF + BUI-GF + BS accounting + ISTA) in exact integer arithmetic.
+ *
+ * This is the library's primary public API. It consumes an INT8
+ * quantized head (queries at full width, keys bit-serial) and produces
+ * the attention output together with a pruning trace: per (query, key)
+ * the number of bit planes consumed before termination, the final keep
+ * mask, retained-key lists, and operation counts. The cycle-level
+ * simulator in src/arch replays this trace through the modelled
+ * hardware; the trace also drives every computation/memory-reduction
+ * figure.
+ */
+
+#ifndef PADE_CORE_PADE_ATTENTION_H
+#define PADE_CORE_PADE_ATTENTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "workload/generator.h"
+
+namespace pade {
+
+/** Algorithm configuration (paper defaults). */
+struct PadeConfig
+{
+    double alpha = 0.55;   //!< guard-band fraction (Eq. 4)
+    double radius = 5.0;   //!< guard band in logit units
+    int tile_bc = 16;      //!< ISTA tile size Bc
+    bool guard_enabled = true; //!< false = dense bit-serial (ablation)
+    bool head_tail = true;     //!< head-tail interleaved tile order
+    bool causal = false;       //!< causal mask (queries are the last
+                               //!< query_len positions)
+    int subgroup = 8;          //!< GSAT sub-group size
+    int muxes = 4;             //!< GSAT muxes per sub-group
+};
+
+/** Aggregate pruning / work statistics of one head execution. */
+struct PruneStats
+{
+    uint64_t planes_processed = 0; //!< bit planes actually consumed
+    uint64_t planes_total = 0;     //!< P * S_valid * bits (dense)
+    uint64_t keys_retained = 0;
+    uint64_t keys_total = 0;       //!< P * S_valid
+    uint64_t ops_bs = 0;           //!< selected elements with BS
+    uint64_t ops_naive = 0;        //!< ones-only selected elements
+    uint64_t max_updates = 0;      //!< online-softmax max updates
+    uint64_t rescale_ops = 0;      //!< rescale multiply-adds
+    uint64_t threshold_updates = 0;
+
+    double
+    avgPlanesPerKey() const
+    {
+        return keys_total ? static_cast<double>(planes_processed) /
+            keys_total : 0.0;
+    }
+    double
+    keepRate() const
+    {
+        return keys_total ? static_cast<double>(keys_retained) /
+            keys_total : 0.0;
+    }
+    /** Fraction of dense bit-plane work eliminated. */
+    double
+    planeReduction() const
+    {
+        return planes_total ? 1.0 -
+            static_cast<double>(planes_processed) / planes_total : 0.0;
+    }
+};
+
+/** Full result of one head execution. */
+struct PadeResult
+{
+    MatrixF out;              //!< (P x H) attention output
+    Matrix<uint8_t> keep;     //!< (P x S) final keep mask
+    Matrix<uint8_t> planes;   //!< (P x S) planes consumed (0 = masked)
+    /** Retained key ids per query row, in scan (ISTA) order. */
+    std::vector<std::vector<int>> retained;
+    PruneStats stats;
+};
+
+/**
+ * Key scan order of ISTA: position tiles of @p tile keys, visited in
+ * head-tail interleaved order when @p head_tail is set (0, T-1, 1,
+ * T-2, ...), natural order otherwise; keys inside a tile keep natural
+ * order.
+ */
+std::vector<int> istaScanOrder(int seq_len, int tile, bool head_tail);
+
+/**
+ * Run PADE sparse attention on one quantized head.
+ *
+ * Exactness contract: keys that survive all bit planes have exact
+ * integer scores (the uncertainty interval collapses at the LSB), so
+ * the output equals masked INT8 attention under the final keep mask.
+ */
+PadeResult padeAttention(const QuantizedHead &head,
+                         const PadeConfig &cfg = {});
+
+} // namespace pade
+
+#endif // PADE_CORE_PADE_ATTENTION_H

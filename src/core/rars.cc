@@ -1,0 +1,104 @@
+#include "core/rars.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+namespace pade {
+
+RarsSchedule
+scheduleNaive(const std::vector<std::vector<int>> &needs, int per_score)
+{
+    assert(per_score > 0);
+    RarsSchedule sched;
+    std::vector<size_t> cursor(needs.size(), 0);
+
+    bool remaining = true;
+    while (remaining) {
+        remaining = false;
+        std::set<int> round_set;
+        for (size_t s = 0; s < needs.size(); s++) {
+            for (int t = 0; t < per_score && cursor[s] < needs[s].size();
+                 t++) {
+                round_set.insert(needs[s][cursor[s]++]);
+            }
+            if (cursor[s] < needs[s].size())
+                remaining = true;
+        }
+        if (!round_set.empty()) {
+            sched.rounds.emplace_back(round_set.begin(),
+                                      round_set.end());
+            sched.loads += round_set.size();
+        }
+    }
+    return sched;
+}
+
+RarsSchedule
+scheduleRars(const std::vector<std::vector<int>> &needs, int per_score)
+{
+    assert(per_score > 0);
+    RarsSchedule sched;
+
+    // pending[v] = set of score rows still needing V v.
+    std::map<int, std::set<int>> pending;
+    for (size_t s = 0; s < needs.size(); s++)
+        for (int v : needs[s])
+            pending[v].insert(static_cast<int>(s));
+
+    while (!pending.empty()) {
+        std::vector<int> slots(needs.size(), per_score);
+        std::vector<int> round;
+
+        while (true) {
+            // Pick the V with the most slot-available consumers;
+            // tie-break toward fewer total remaining consumers.
+            int best_v = -1;
+            int best_avail = 0;
+            size_t best_total = 0;
+            for (const auto &[v, consumers] : pending) {
+                int avail = 0;
+                for (int s : consumers)
+                    if (slots[s] > 0)
+                        avail++;
+                if (avail == 0)
+                    continue;
+                const bool better = avail > best_avail ||
+                    (avail == best_avail &&
+                     consumers.size() < best_total);
+                if (best_v < 0 || better) {
+                    best_v = v;
+                    best_avail = avail;
+                    best_total = consumers.size();
+                }
+            }
+            if (best_v < 0)
+                break;
+
+            round.push_back(best_v);
+            auto &consumers = pending[best_v];
+            for (auto it = consumers.begin(); it != consumers.end();) {
+                if (slots[*it] > 0) {
+                    slots[*it]--;
+                    it = consumers.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+            if (consumers.empty())
+                pending.erase(best_v);
+        }
+
+        if (round.empty())
+            break; // defensive: cannot make progress
+        // Round entries stay in load (greedy-pick) order: consumers'
+        // round slots are allocated in that order, so replaying the
+        // schedule requires it.
+        sched.loads += round.size();
+        sched.rounds.push_back(std::move(round));
+    }
+    return sched;
+}
+
+} // namespace pade

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reuse-Aware Reorder Scheduling (RARS) — paper §V-E, Fig. 13.
+ *
+ * After pruning, each retained score row needs an irregular subset of V
+ * vectors. The V-PU loads a bounded number of V vectors per round and
+ * each score row can consume a bounded number per round; a naive
+ * left-to-right order reloads shared V vectors across rounds. RARS
+ * greedily schedules V vectors by how many score rows can consume them
+ * *this* round, deferring shared vectors when their consumers' round
+ * slots are already full (which is what saves the reloads in the
+ * paper's worked example: 11 loads -> 8).
+ */
+
+#ifndef PADE_CORE_RARS_H
+#define PADE_CORE_RARS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace pade {
+
+/** One scheduling outcome: V ids loaded per round. */
+struct RarsSchedule
+{
+    std::vector<std::vector<int>> rounds;
+    /** Total V-vector loads under this schedule. */
+    uint64_t loads = 0;
+};
+
+/**
+ * Naive left-to-right schedule: each score row consumes its next
+ * @p per_score Vs (in index order) every round; the round's load set is
+ * the union. Paper Fig. 13(a)(b).
+ *
+ * @param needs needs[s] = sorted V indices required by score row s
+ * @param per_score V vectors one score row consumes per round
+ */
+RarsSchedule scheduleNaive(const std::vector<std::vector<int>> &needs,
+                           int per_score);
+
+/**
+ * RARS greedy schedule (Fig. 13(c)-(e)): per round, repeatedly load the
+ * V with the most consumers that still have round slots, breaking ties
+ * toward Vs with *fewer* total remaining consumers so widely shared
+ * vectors are issued in rounds where all their consumers can take them.
+ */
+RarsSchedule scheduleRars(const std::vector<std::vector<int>> &needs,
+                          int per_score);
+
+} // namespace pade
+
+#endif // PADE_CORE_RARS_H

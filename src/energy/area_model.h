@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Analytic area model of the PADE accelerator (paper Fig. 20: 4.53 mm^2
+ * at TSMC 28 nm) and of the GSAT design-space exploration (Fig. 17(a)).
+ *
+ * The model composes unit areas of muxes/adders/registers per the
+ * micro-architecture's structural counts, so DSE knobs (sub-group size,
+ * scoreboard entries, lane count) move area the way the paper's RTL
+ * synthesis would, and the default configuration lands on the paper's
+ * module shares.
+ */
+
+#ifndef PADE_ENERGY_AREA_MODEL_H
+#define PADE_ENERGY_AREA_MODEL_H
+
+#include <map>
+#include <string>
+
+namespace pade {
+
+/** Structural parameters that area depends on. */
+struct AreaParams
+{
+    int pe_rows = 8;
+    int lanes_per_row = 16;
+    int lane_dim = 64;          //!< dot-product width per lane
+    int subgroup_size = 8;      //!< GSAT accumulation sub-group
+    int scoreboard_entries = 32;
+    int scoreboard_bits = 45;
+    int vpu_rows = 8;
+    int vpu_cols = 16;
+    int apm_inputs = 128;
+    double buffer_kb = 352.0;   //!< total on-chip SRAM
+
+    int totalLanes() const { return pe_rows * lanes_per_row; }
+};
+
+/** Per-module area report in mm^2. */
+struct AreaReport
+{
+    std::map<std::string, double> modules;
+    double total() const;
+};
+
+/** Compute the area breakdown for the given structural parameters. */
+AreaReport padeArea(const AreaParams &p);
+
+/**
+ * GSAT-only area+power figure of merit versus sub-group size, for the
+ * Fig. 17(a) DSE: smaller groups shrink muxes but add subtractors and
+ * Qsum generators. Returns {area_mm2, power_mw} of one lane's GSAT.
+ */
+struct GsatCost
+{
+    double area_mm2 = 0.0;
+    double power_mw = 0.0;
+};
+GsatCost gsatCost(int lane_dim, int subgroup_size);
+
+} // namespace pade
+
+#endif // PADE_ENERGY_AREA_MODEL_H

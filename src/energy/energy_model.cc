@@ -1,0 +1,35 @@
+#include "energy/energy_model.h"
+
+namespace pade {
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &o)
+{
+    compute_pj += o.compute_pj;
+    sram_pj += o.sram_pj;
+    dram_pj += o.dram_pj;
+    other_pj += o.other_pj;
+    for (const auto &kv : o.modules)
+        modules[kv.first] += kv.second;
+    return *this;
+}
+
+double
+gopsPerWatt(double useful_ops, double energy_pj)
+{
+    // GOPS/W == ops per nanojoule == (ops / pJ) * 1000.
+    if (energy_pj <= 0.0)
+        return 0.0;
+    return useful_ops / energy_pj * 1000.0;
+}
+
+double
+powerMw(double energy_pj, double time_ns)
+{
+    // pJ / ns == mW.
+    if (time_ns <= 0.0)
+        return 0.0;
+    return energy_pj / time_ns;
+}
+
+} // namespace pade

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Energy accounting: a breakdown by component class (compute, on-chip
+ * buffer, DRAM, other) as the paper's stacked energy bars use, plus a
+ * finer per-module map for the Fig. 20 power pie.
+ */
+
+#ifndef PADE_ENERGY_ENERGY_MODEL_H
+#define PADE_ENERGY_ENERGY_MODEL_H
+
+#include <map>
+#include <string>
+
+namespace pade {
+
+/** Energy totals in pJ, split the way the paper's figures split them. */
+struct EnergyBreakdown
+{
+    double compute_pj = 0.0;
+    double sram_pj = 0.0;
+    double dram_pj = 0.0;
+    double other_pj = 0.0;
+
+    /** Fine-grained per-module energies (module name -> pJ). */
+    std::map<std::string, double> modules;
+
+    double total() const
+    {
+        return compute_pj + sram_pj + dram_pj + other_pj;
+    }
+
+    /** Add @p pj to a named module and the given coarse bucket. */
+    void
+    add(const std::string &module, double pj, double EnergyBreakdown::*bucket)
+    {
+        modules[module] += pj;
+        this->*bucket += pj;
+    }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &o);
+};
+
+/** Energy efficiency in GOPS/W given useful ops and energy. */
+double gopsPerWatt(double useful_ops, double energy_pj);
+
+/** Average power in mW given energy (pJ) over time (ns). */
+double powerMw(double energy_pj, double time_ns);
+
+} // namespace pade
+
+#endif // PADE_ENERGY_ENERGY_MODEL_H

@@ -1,0 +1,137 @@
+#include "memory/hbm.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pade {
+
+HbmModel::HbmModel(HbmConfig cfg) : cfg_(cfg)
+{
+    assert(cfg_.channels > 0 && cfg_.banks_per_channel > 0);
+    channel_free_ns_.assign(cfg_.channels, 0.0);
+    open_row_.assign(
+        static_cast<size_t>(cfg_.channels) * cfg_.banks_per_channel,
+        ~0ULL);
+}
+
+int
+HbmModel::channelOf(uint64_t addr) const
+{
+    return static_cast<int>(
+        (addr / cfg_.channel_interleave_bytes) % cfg_.channels);
+}
+
+int
+HbmModel::bankOf(uint64_t addr) const
+{
+    // Banks interleave above the channel bits at row granularity.
+    return static_cast<int>(
+        (addr / (static_cast<uint64_t>(cfg_.channel_interleave_bytes) *
+                 cfg_.channels)) % cfg_.banks_per_channel);
+}
+
+uint64_t
+HbmModel::rowOf(uint64_t addr) const
+{
+    // Rows live inside a channel: with channel interleaving, a
+    // channel-local row of row_bytes covers row_bytes * channels of
+    // the global address space.
+    return addr / (static_cast<uint64_t>(cfg_.row_bytes) *
+                   cfg_.channels);
+}
+
+HbmAccess
+HbmModel::read(uint64_t addr, uint32_t useful_bytes, double now_ns)
+{
+    assert(useful_bytes > 0);
+    const int ch = channelOf(addr);
+    const int bank = bankOf(addr);
+    const uint64_t row = rowOf(addr);
+    const size_t rb_idx = static_cast<size_t>(ch) *
+        cfg_.banks_per_channel + bank;
+
+    const uint64_t bursts =
+        (useful_bytes + cfg_.burst_bytes - 1) / cfg_.burst_bytes;
+    const double burst_ns =
+        cfg_.burst_bytes / cfg_.channel_gbps; // GB/s == bytes/ns
+
+    const bool hit = open_row_[rb_idx] == row;
+    const double access_ns = hit ? cfg_.t_cl_ns : cfg_.t_rc_ns;
+    open_row_[rb_idx] = row;
+
+    HbmAccess acc;
+    acc.issue_ns = std::max(now_ns, channel_free_ns_[ch]);
+    const double transfer_ns = static_cast<double>(bursts) * burst_ns;
+    acc.complete_ns = acc.issue_ns + access_ns + transfer_ns;
+    acc.bursts = bursts;
+    acc.row_hit = hit;
+
+    // Column reads to an open row pipeline back-to-back: the access
+    // latency overlaps with later requests; only transfers (plus the
+    // activation gap on a miss) occupy the channel.
+    channel_free_ns_[ch] = acc.issue_ns + transfer_ns +
+        (hit ? 0.0 : cfg_.t_activate_ns);
+
+    bus_bytes_ += bursts * cfg_.burst_bytes;
+    useful_bytes_ += useful_bytes;
+    if (hit)
+        row_hits_ += 1;
+    else
+        row_misses_ += 1;
+
+    stats_.scalar("reads")++;
+    stats_.scalar("bus_bytes").set(static_cast<double>(bus_bytes_));
+    stats_.scalar("useful_bytes").set(
+        static_cast<double>(useful_bytes_));
+    return acc;
+}
+
+double
+HbmModel::channelFreeAt(uint64_t addr) const
+{
+    return channel_free_ns_[channelOf(addr)];
+}
+
+void
+HbmModel::flush()
+{
+    std::fill(channel_free_ns_.begin(), channel_free_ns_.end(), 0.0);
+    std::fill(open_row_.begin(), open_row_.end(), ~0ULL);
+}
+
+void
+HbmModel::reset()
+{
+    flush();
+    bus_bytes_ = 0;
+    useful_bytes_ = 0;
+    row_hits_ = 0;
+    row_misses_ = 0;
+    stats_.reset();
+}
+
+double
+HbmModel::energyPj() const
+{
+    return static_cast<double>(bus_bytes_) * 8.0 *
+        cfg_.energy_pj_per_bit;
+}
+
+double
+HbmModel::rowHitRate() const
+{
+    const uint64_t total = row_hits_ + row_misses_;
+    return total ? static_cast<double>(row_hits_) / total : 0.0;
+}
+
+double
+HbmModel::bandwidthUtilization(double elapsed_ns) const
+{
+    if (elapsed_ns <= 0.0)
+        return 0.0;
+    const double peak_bytes =
+        cfg_.channels * cfg_.channel_gbps * elapsed_ns;
+    return std::min(1.0, static_cast<double>(bus_bytes_) / peak_bytes);
+}
+
+} // namespace pade

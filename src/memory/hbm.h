@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Analytic HBM2 pseudo-channel model.
+ *
+ * Matches the paper's off-chip configuration (Table III): 16 x 64-bit
+ * pseudo-channels at 2 Gb/s/pin (16 GB/s each, 256 GB/s aggregate),
+ * BL = 4 x 64 b (32-byte bursts), tRC = 50 ns. We model per-channel
+ * service occupancy, a one-entry open-row buffer per (channel, bank),
+ * row hit/miss latencies, and 4 pJ/bit access energy (the paper's
+ * normalization constant). This is an analytic queueing model in the
+ * spirit of what Ramulator provides the authors, not a DDR protocol
+ * simulator; it captures the row-locality and bandwidth effects the
+ * paper's data-layout experiments (Figs. 22/23) rely on.
+ */
+
+#ifndef PADE_MEMORY_HBM_H
+#define PADE_MEMORY_HBM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace pade {
+
+/** HBM2 configuration; defaults mirror paper Table III. */
+struct HbmConfig
+{
+    int channels = 16;
+    double channel_gbps = 16.0;   //!< GB/s per pseudo-channel
+    int burst_bytes = 32;         //!< BL4 x 64 bit
+    double t_rc_ns = 50.0;        //!< row-miss access latency
+    double t_cl_ns = 17.0;        //!< row-hit access latency
+    /**
+     * Channel occupancy added by a row activation. Bank-level
+     * parallelism overlaps most of tRC with other banks' transfers;
+     * what remains on the channel is a tRRD-class gap. Column reads
+     * to an open row pipeline at full bandwidth, so a hit occupies
+     * only its transfer time.
+     */
+    double t_activate_ns = 8.0;
+    int row_bytes = 1024;         //!< row-buffer size per bank
+    int banks_per_channel = 16;
+    double energy_pj_per_bit = 4.0;
+    /** Address bits interleaved across channels at this granularity. */
+    int channel_interleave_bytes = 256;
+};
+
+/** Outcome of a single read request. */
+struct HbmAccess
+{
+    double issue_ns = 0.0;     //!< when the channel accepted it
+    double complete_ns = 0.0;  //!< when the last burst returned
+    uint64_t bursts = 0;
+    bool row_hit = false;      //!< first burst hit the open row
+};
+
+/**
+ * HBM2 model: issue reads, get completion times, accumulate stats.
+ */
+class HbmModel
+{
+  public:
+    explicit HbmModel(HbmConfig cfg = {});
+
+    /**
+     * Read @p useful_bytes starting at @p addr, arriving at @p now_ns.
+     * The transfer is rounded up to whole bursts; the difference is
+     * recorded as over-fetch. Returns issue/complete timestamps.
+     */
+    HbmAccess read(uint64_t addr, uint32_t useful_bytes, double now_ns);
+
+    /** Earliest time a new request on @p addr 's channel could start. */
+    double channelFreeAt(uint64_t addr) const;
+
+    /** Reset row buffers and channel clocks (stats preserved). */
+    void flush();
+    /** Reset everything including statistics. */
+    void reset();
+
+    const HbmConfig &config() const { return cfg_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Total bytes moved on the bus (bursts x burst size). */
+    uint64_t busBytes() const { return bus_bytes_; }
+    /** Bytes the requester actually asked for. */
+    uint64_t usefulBytes() const { return useful_bytes_; }
+    /** Total access energy in pJ (bus bytes x pJ/bit). */
+    double energyPj() const;
+    /** Row-hit fraction over all bursts. */
+    double rowHitRate() const;
+    /**
+     * Achieved-vs-peak bandwidth utilization given the span of time the
+     * workload occupied, in ns.
+     */
+    double bandwidthUtilization(double elapsed_ns) const;
+
+    int channelOf(uint64_t addr) const;
+    int bankOf(uint64_t addr) const;
+    uint64_t rowOf(uint64_t addr) const;
+
+  private:
+    HbmConfig cfg_;
+    std::vector<double> channel_free_ns_;
+    std::vector<uint64_t> open_row_;  //!< per (channel, bank); ~0 = none
+    uint64_t bus_bytes_ = 0;
+    uint64_t useful_bytes_ = 0;
+    uint64_t row_hits_ = 0;
+    uint64_t row_misses_ = 0;
+    StatGroup stats_{"hbm"};
+};
+
+} // namespace pade
+
+#endif // PADE_MEMORY_HBM_H

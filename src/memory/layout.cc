@@ -1,0 +1,42 @@
+#include "memory/layout.h"
+
+#include <cassert>
+
+namespace pade {
+
+KAddressMap::KAddressMap(KLayout layout, int seq_len, int plane_bytes,
+                         int num_planes, uint64_t base)
+    : layout_(layout), seq_len_(seq_len), plane_bytes_(plane_bytes),
+      num_planes_(num_planes), base_(base)
+{
+    assert(seq_len > 0 && plane_bytes > 0 && num_planes > 0);
+}
+
+uint64_t
+KAddressMap::address(int key, int plane) const
+{
+    assert(key >= 0 && key < seq_len_);
+    assert(plane >= 0 && plane < num_planes_);
+    if (layout_ == KLayout::BitPlaneInterleaved) {
+        // Plane-major: all keys' plane r contiguous.
+        return base_ + (static_cast<uint64_t>(plane) * seq_len_ + key) *
+            plane_bytes_;
+    }
+    // Value-major: all planes of key j contiguous.
+    return base_ + (static_cast<uint64_t>(key) * num_planes_ + plane) *
+        plane_bytes_;
+}
+
+uint64_t
+KAddressMap::regionBytes() const
+{
+    return static_cast<uint64_t>(seq_len_) * num_planes_ * plane_bytes_;
+}
+
+uint64_t
+rowMajorAddress(uint64_t base, int row, int row_bytes)
+{
+    return base + static_cast<uint64_t>(row) * row_bytes;
+}
+
+} // namespace pade

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * DRAM data-layout policies for the Key tensor (paper Fig. 22).
+ *
+ * PADE stores K bank-interleaved along the *bit* dimension: one DRAM
+ * region holds the same bit plane of many consecutive keys, so streaming
+ * a plane across keys produces sequential row-buffer hits and every
+ * fetched burst carries only bits that the bit-serial front end needs.
+ * The naive (value-major) layout stores all planes of a key adjacently:
+ * fetching one plane of one key drags the neighbouring planes of the
+ * same key inside the burst, which is wasted whenever that key is pruned
+ * before those planes are consumed.
+ */
+
+#ifndef PADE_MEMORY_LAYOUT_H
+#define PADE_MEMORY_LAYOUT_H
+
+#include <cstdint>
+
+namespace pade {
+
+/** Key-tensor layout in DRAM. */
+enum class KLayout
+{
+    BitPlaneInterleaved, //!< paper's layout: plane-major
+    ValueMajor,          //!< naive layout: key-major
+};
+
+/**
+ * Address generator for bit-plane reads of the K tensor.
+ */
+class KAddressMap
+{
+  public:
+    /**
+     * @param layout layout policy
+     * @param seq_len number of keys
+     * @param plane_bytes bytes of one bit plane of one key (ceil(H/8))
+     * @param num_planes total planes (bit-width)
+     * @param base base address of the K region
+     */
+    KAddressMap(KLayout layout, int seq_len, int plane_bytes,
+                int num_planes, uint64_t base = 0);
+
+    /** DRAM address of (key j, plane r). */
+    uint64_t address(int key, int plane) const;
+
+    /**
+     * Useful bytes of a plane request under this layout. Always
+     * plane_bytes; the over-fetch difference is produced by burst
+     * rounding in the HBM model via address adjacency.
+     */
+    int planeBytes() const { return plane_bytes_; }
+
+    KLayout layout() const { return layout_; }
+    uint64_t regionBytes() const;
+
+  private:
+    KLayout layout_;
+    int seq_len_;
+    int plane_bytes_;
+    int num_planes_;
+    uint64_t base_;
+};
+
+/** Address of a value/query row (H-major contiguous, paper Fig. 22). */
+uint64_t rowMajorAddress(uint64_t base, int row, int row_bytes);
+
+} // namespace pade
+
+#endif // PADE_MEMORY_LAYOUT_H

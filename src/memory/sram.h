@@ -1,0 +1,58 @@
+/**
+ * @file
+ * On-chip SRAM buffer model with CACTI-flavoured energy and area
+ * estimates. The paper allocates 320 KB for Key/Value buffers plus a
+ * 32 KB query buffer (Table III) and reports buffer energy as one of the
+ * three energy components in Fig. 21.
+ */
+
+#ifndef PADE_MEMORY_SRAM_H
+#define PADE_MEMORY_SRAM_H
+
+#include <cstdint>
+#include <string>
+
+namespace pade {
+
+/**
+ * A single SRAM buffer: capacity bookkeeping plus access accounting.
+ */
+class SramBuffer
+{
+  public:
+    /**
+     * @param name for reporting
+     * @param capacity_bytes total capacity
+     */
+    SramBuffer(std::string name, uint64_t capacity_bytes);
+
+    /** Account a read of @p bytes. */
+    void read(uint64_t bytes);
+    /** Account a write of @p bytes. */
+    void write(uint64_t bytes);
+    /** Reset counters. */
+    void reset();
+
+    uint64_t capacity() const { return capacity_; }
+    uint64_t bytesRead() const { return bytes_read_; }
+    uint64_t bytesWritten() const { return bytes_written_; }
+
+    /** Dynamic energy in pJ for all recorded accesses. */
+    double energyPj() const;
+    /** Estimated macro area in mm^2 (28 nm). */
+    double areaMm2() const;
+    /** Per-byte read energy in pJ at this capacity (28 nm). */
+    double readEnergyPerByte() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    uint64_t capacity_;
+    uint64_t bytes_read_ = 0;
+    uint64_t bytes_written_ = 0;
+};
+
+} // namespace pade
+
+#endif // PADE_MEMORY_SRAM_H

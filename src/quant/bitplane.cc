@@ -1,0 +1,117 @@
+#include "quant/bitplane.h"
+
+#include <cassert>
+
+#include "common/math_util.h"
+
+namespace pade {
+
+BitPlaneSet::BitPlaneSet(const MatrixI8 &m, int bits)
+    : rows_(m.rows()), cols_(m.cols()), bits_(bits),
+      words_((m.cols() + 63) / 64)
+{
+    assert(bits_ >= 2 && bits_ <= 8);
+    storage_.assign(static_cast<size_t>(rows_) * bits_ * words_, 0);
+    popcounts_.assign(static_cast<size_t>(rows_) * bits_, 0);
+
+    const int lo = -(1 << (bits_ - 1));
+    const int hi = (1 << (bits_ - 1)) - 1;
+    (void)lo;
+    (void)hi;
+
+    for (int row = 0; row < rows_; row++) {
+        for (int col = 0; col < cols_; col++) {
+            const int v = m.at(row, col);
+            assert(v >= lo && v <= hi);
+            // Two's complement over the low `bits_` bits represents v
+            // exactly when it is in range.
+            const uint8_t u = static_cast<uint8_t>(v) &
+                static_cast<uint8_t>((1u << bits_) - 1);
+            for (int r = 0; r < bits_; r++) {
+                const int bitpos = bits_ - 1 - r;
+                if ((u >> bitpos) & 1u) {
+                    storage_[planeIndex(row, r) + col / 64] |=
+                        1ULL << (col % 64);
+                    popcounts_[static_cast<size_t>(row) * bits_ + r]++;
+                }
+            }
+        }
+    }
+}
+
+int
+BitPlaneSet::planeWeight(int r) const
+{
+    assert(r >= 0 && r < bits_);
+    if (r == 0)
+        return -(1 << (bits_ - 1));
+    return 1 << (bits_ - 1 - r);
+}
+
+int
+BitPlaneSet::remainingMagnitude(int r) const
+{
+    assert(r >= 0 && r < bits_);
+    return (1 << (bits_ - 1 - r)) - 1;
+}
+
+bool
+BitPlaneSet::bit(int row, int r, int col) const
+{
+    assert(col >= 0 && col < cols_);
+    return (storage_[planeIndex(row, r) + col / 64] >> (col % 64)) & 1ULL;
+}
+
+std::span<const uint64_t>
+BitPlaneSet::plane(int row, int r) const
+{
+    return {storage_.data() + planeIndex(row, r),
+            static_cast<size_t>(words_)};
+}
+
+int
+BitPlaneSet::popcount(int row, int r) const
+{
+    assert(row >= 0 && row < rows_ && r >= 0 && r < bits_);
+    return popcounts_[static_cast<size_t>(row) * bits_ + r];
+}
+
+int
+BitPlaneSet::reconstruct(int row, int col, int r) const
+{
+    int v = 0;
+    for (int p = 0; p <= r; p++)
+        if (bit(row, p, col))
+            v += planeWeight(p);
+    return v;
+}
+
+int64_t
+partialDot(std::span<const int8_t> q, const BitPlaneSet &keys, int row,
+           int r)
+{
+    assert(static_cast<int>(q.size()) == keys.numCols());
+    int64_t total = 0;
+    for (int p = 0; p <= r; p++) {
+        int64_t plane_sum = 0;
+        auto words = keys.plane(row, p);
+        for (int w = 0; w < keys.wordsPerPlane(); w++) {
+            uint64_t bits = words[w];
+            while (bits) {
+                const int b = __builtin_ctzll(bits);
+                plane_sum += q[w * 64 + b];
+                bits &= bits - 1;
+            }
+        }
+        total += static_cast<int64_t>(keys.planeWeight(p)) * plane_sum;
+    }
+    return total;
+}
+
+int64_t
+exactDot(std::span<const int8_t> q, const BitPlaneSet &keys, int row)
+{
+    return partialDot(q, keys, row, keys.numPlanes() - 1);
+}
+
+} // namespace pade

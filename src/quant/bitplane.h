@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Two's-complement bit-plane decomposition of integer Key matrices.
+ *
+ * PADE's bit-serial stage fusion (BSF) streams the Key matrix MSB-plane
+ * first: plane r of a p-bit value b_{p-1}..b_0 holds bit (p-1-r) of every
+ * element, so plane 0 is the sign plane with weight -2^{p-1} and plane r>0
+ * has weight +2^{p-1-r}. Because every non-sign bit contributes a
+ * non-negative amount, knowing planes 0..r bounds the remaining magnitude
+ * by M_r = 2^{p-1-r} - 1 per element — the property the BUI (bit-wise
+ * uncertainty interval) exploits.
+ *
+ * Planes are stored packed (64 bits/word) per (row, plane) with cached
+ * popcounts, matching the accelerator's K-SRAM layout in which one SRAM
+ * row holds the same bit plane across the hidden dimension (paper
+ * Fig. 22).
+ */
+
+#ifndef PADE_QUANT_BITPLANE_H
+#define PADE_QUANT_BITPLANE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace pade {
+
+/**
+ * Packed bit planes of an integer matrix (rows = keys/tokens).
+ */
+class BitPlaneSet
+{
+  public:
+    /**
+     * Decompose @p m into @p bits planes (MSB first).
+     *
+     * @param m int8 matrix; for bits < 8, all values must fit the range.
+     * @param bits total bit-width p in [2, 8].
+     */
+    explicit BitPlaneSet(const MatrixI8 &m, int bits = 8);
+
+    int numRows() const { return rows_; }
+    int numCols() const { return cols_; }
+    int numPlanes() const { return bits_; }
+    int wordsPerPlane() const { return words_; }
+
+    /** Signed weight of plane @p r: -2^{p-1} for r=0, else 2^{p-1-r}. */
+    int planeWeight(int r) const;
+
+    /**
+     * Remaining-magnitude constant after planes 0..r are known:
+     * M_r = 2^{p-1-r} - 1 (0 once every plane is processed).
+     */
+    int remainingMagnitude(int r) const;
+
+    /** Bit of element (row, col) on plane r. */
+    bool bit(int row, int r, int col) const;
+
+    /** Packed words of plane r of @p row. */
+    std::span<const uint64_t> plane(int row, int r) const;
+
+    /** Cached popcount of plane r of @p row. */
+    int popcount(int row, int r) const;
+
+    /**
+     * Partial reconstruction of element (row, col) using planes 0..r
+     * with all unknown bits set to zero (the conservative value S^r
+     * builds on).
+     */
+    int reconstruct(int row, int col, int r) const;
+
+    /** Bytes of one plane of one row as stored in DRAM (ceil(H/8)). */
+    int planeBytes() const { return (cols_ + 7) / 8; }
+
+  private:
+    size_t
+    planeIndex(int row, int r) const
+    {
+        return (static_cast<size_t>(row) * bits_ + r) * words_;
+    }
+
+    int rows_ = 0;
+    int cols_ = 0;
+    int bits_ = 8;
+    int words_ = 0;
+    std::vector<uint64_t> storage_;
+    std::vector<int> popcounts_;
+};
+
+/**
+ * Partial dot product of a full-precision query row with the first
+ * (r+1) bit planes of key @p row : S^r = sum_{p<=r} w_p * sum_{bit=1} q.
+ * This is the score the scoreboard accumulates plane by plane.
+ */
+int64_t partialDot(std::span<const int8_t> q, const BitPlaneSet &keys,
+                   int row, int r);
+
+/** Exact dot product via all planes (equals integer QK^T). */
+int64_t exactDot(std::span<const int8_t> q, const BitPlaneSet &keys,
+                 int row);
+
+} // namespace pade
+
+#endif // PADE_QUANT_BITPLANE_H

@@ -1,0 +1,70 @@
+#include "quant/mxint.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace pade {
+
+MxQuantized
+mxQuantize(const MatrixF &m, int group_size)
+{
+    MxQuantized out;
+    out.group_size = group_size;
+    out.values = MatrixI8(m.rows(), m.cols());
+    const int groups = (m.cols() + group_size - 1) / group_size;
+    out.scales.assign(static_cast<size_t>(m.rows()) * groups, 1.0f);
+
+    for (int r = 0; r < m.rows(); r++) {
+        for (int g = 0; g < groups; g++) {
+            const int lo = g * group_size;
+            const int hi = std::min(m.cols(), lo + group_size);
+            float absmax = 0.0f;
+            for (int c = lo; c < hi; c++)
+                absmax = std::max(absmax, std::fabs(m.at(r, c)));
+            const float scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+            out.scales[static_cast<size_t>(r) * groups + g] = scale;
+            for (int c = lo; c < hi; c++) {
+                const float v = m.at(r, c) / scale;
+                out.values.at(r, c) = static_cast<int8_t>(
+                    clampTo(static_cast<int>(std::nearbyint(v)), -128,
+                            127));
+            }
+        }
+    }
+    return out;
+}
+
+MatrixF
+mxDequantize(const MxQuantized &q)
+{
+    MatrixF out(q.values.rows(), q.values.cols());
+    const int groups = q.groupsPerRow();
+    for (int r = 0; r < out.rows(); r++) {
+        for (int c = 0; c < out.cols(); c++) {
+            const float scale =
+                q.scales[static_cast<size_t>(r) * groups +
+                         c / q.group_size];
+            out.at(r, c) = scale * q.values.at(r, c);
+        }
+    }
+    return out;
+}
+
+double
+mxQuantizationError(const MatrixF &m, int group_size)
+{
+    const MatrixF d = mxDequantize(mxQuantize(m, group_size));
+    double num = 0.0;
+    double den = 0.0;
+    for (int r = 0; r < m.rows(); r++) {
+        for (int c = 0; c < m.cols(); c++) {
+            const double e = d.at(r, c) - m.at(r, c);
+            num += e * e;
+            den += static_cast<double>(m.at(r, c)) * m.at(r, c);
+        }
+    }
+    return den > 0.0 ? std::sqrt(num / den) : 0.0;
+}
+
+} // namespace pade

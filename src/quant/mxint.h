@@ -1,0 +1,53 @@
+/**
+ * @file
+ * MXINT-style micro-scaled group quantization (OCP Microscaling, 32-element
+ * groups sharing a scale). The paper's Table II evaluates MXINT8 and
+ * Fig. 25 shows how the BUI generalizes to group-wise scales: the overall
+ * interval is the scale-weighted sum of per-group intervals.
+ */
+
+#ifndef PADE_QUANT_MXINT_H
+#define PADE_QUANT_MXINT_H
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace pade {
+
+/** Group-quantized matrix: int8 mantissas + per (row, group) scales. */
+struct MxQuantized
+{
+    MatrixI8 values;
+    int group_size = 32;
+    /** scales[row * groups_per_row + g] ; real = scale * q. */
+    std::vector<float> scales;
+
+    int groupsPerRow() const
+    {
+        return (values.cols() + group_size - 1) / group_size;
+    }
+    float
+    scaleAt(int row, int group) const
+    {
+        return scales[static_cast<size_t>(row) * groupsPerRow() + group];
+    }
+};
+
+/**
+ * Quantize with per-group absmax scales (8-bit mantissas).
+ *
+ * @param m input
+ * @param group_size elements sharing one scale (default 32, per OCP MX)
+ */
+MxQuantized mxQuantize(const MatrixF &m, int group_size = 32);
+
+/** Dequantize back to float. */
+MatrixF mxDequantize(const MxQuantized &q);
+
+/** Relative L2 error of the MX round trip. */
+double mxQuantizationError(const MatrixF &m, int group_size = 32);
+
+} // namespace pade
+
+#endif // PADE_QUANT_MXINT_H

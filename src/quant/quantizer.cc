@@ -1,0 +1,71 @@
+#include "quant/quantizer.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace pade {
+
+Quantized
+quantizeSymmetric(const MatrixF &m, int bits)
+{
+    Quantized out;
+    out.params.bits = bits;
+
+    float absmax = 0.0f;
+    for (int r = 0; r < m.rows(); r++)
+        for (float v : m.row(r))
+            absmax = std::max(absmax, std::fabs(v));
+
+    const int qmax = out.params.qmax();
+    out.params.scale = absmax > 0.0f ?
+        absmax / static_cast<float>(qmax) : 1.0f;
+
+    out.values = MatrixI8(m.rows(), m.cols());
+    for (int r = 0; r < m.rows(); r++) {
+        for (int c = 0; c < m.cols(); c++) {
+            out.values.at(r, c) =
+                quantizeValue(m.at(r, c), out.params);
+        }
+    }
+    return out;
+}
+
+int8_t
+quantizeValue(float v, const QuantParams &p)
+{
+    const float scaled = v / p.scale;
+    const float rounded = std::nearbyint(scaled);
+    const int clamped = clampTo(static_cast<int>(rounded), p.qmin(),
+                                p.qmax());
+    return static_cast<int8_t>(clamped);
+}
+
+MatrixF
+dequantize(const Quantized &q)
+{
+    MatrixF out(q.values.rows(), q.values.cols());
+    for (int r = 0; r < out.rows(); r++)
+        for (int c = 0; c < out.cols(); c++)
+            out.at(r, c) = q.params.scale * q.values.at(r, c);
+    return out;
+}
+
+double
+quantizationError(const MatrixF &m, int bits)
+{
+    const Quantized q = quantizeSymmetric(m, bits);
+    const MatrixF d = dequantize(q);
+    double num = 0.0;
+    double den = 0.0;
+    for (int r = 0; r < m.rows(); r++) {
+        for (int c = 0; c < m.cols(); c++) {
+            const double e = d.at(r, c) - m.at(r, c);
+            num += e * e;
+            den += static_cast<double>(m.at(r, c)) * m.at(r, c);
+        }
+    }
+    return den > 0.0 ? std::sqrt(num / den) : 0.0;
+}
+
+} // namespace pade

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Symmetric integer post-training quantization (PTQ) used for attention
+ * operands, mirroring the paper's INT8 baseline (weights/activations
+ * quantized, softmax kept in higher precision).
+ *
+ * We also provide INT4 and a QAT-like variant that assumes a more uniform
+ * value distribution (paper Fig. 26(a) observation: QAT flattens the
+ * distribution, reducing exploitable sparsity).
+ */
+
+#ifndef PADE_QUANT_QUANTIZER_H
+#define PADE_QUANT_QUANTIZER_H
+
+#include <cstdint>
+
+#include "tensor/matrix.h"
+
+namespace pade {
+
+/** Scale metadata for a symmetric per-tensor quantization. */
+struct QuantParams
+{
+    /** Dequantization scale: real = scale * q. */
+    float scale = 1.0f;
+    /** Bit-width (4 or 8). */
+    int bits = 8;
+
+    /** Largest representable magnitude for this bit-width. */
+    int qmax() const { return (1 << (bits - 1)) - 1; }
+    int qmin() const { return -(1 << (bits - 1)); }
+};
+
+/** Result of quantizing a float matrix. */
+struct Quantized
+{
+    MatrixI8 values; //!< int8 storage (int4 values also live here).
+    QuantParams params;
+};
+
+/**
+ * Symmetric per-tensor quantization with absmax calibration.
+ *
+ * @param m input matrix
+ * @param bits 4 or 8
+ * @return quantized values plus scale
+ */
+Quantized quantizeSymmetric(const MatrixF &m, int bits = 8);
+
+/** Dequantize back to float. */
+MatrixF dequantize(const Quantized &q);
+
+/** Quantize a single float given params (saturating). */
+int8_t quantizeValue(float v, const QuantParams &p);
+
+/**
+ * Relative L2 error || deq(quant(m)) - m || / || m ||. Used by tests and
+ * by the accuracy-proxy experiments.
+ */
+double quantizationError(const MatrixF &m, int bits);
+
+} // namespace pade
+
+#endif // PADE_QUANT_QUANTIZER_H

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Minimal row-major dense matrix used throughout the repository.
+ *
+ * Attention operands are 2-D (sequence x hidden), so a simple contiguous
+ * matrix with row spans covers every use case; no strided views or
+ * broadcasting are needed.
+ */
+
+#ifndef PADE_TENSOR_MATRIX_H
+#define PADE_TENSOR_MATRIX_H
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pade {
+
+/**
+ * Row-major dense matrix of @p T with contiguous storage.
+ */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Construct rows x cols, zero-initialized. */
+    Matrix(int rows, int cols)
+        : rows_(rows), cols_(cols),
+          data_(static_cast<size_t>(rows) * cols, T{})
+    {
+        assert(rows >= 0 && cols >= 0);
+    }
+
+    /** Construct from explicit data (size must equal rows*cols). */
+    Matrix(int rows, int cols, std::vector<T> data)
+        : rows_(rows), cols_(cols), data_(std::move(data))
+    {
+        assert(data_.size() == static_cast<size_t>(rows) * cols);
+    }
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    T &
+    at(int r, int c)
+    {
+        assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+        return data_[static_cast<size_t>(r) * cols_ + c];
+    }
+
+    const T &
+    at(int r, int c) const
+    {
+        assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+        return data_[static_cast<size_t>(r) * cols_ + c];
+    }
+
+    T &operator()(int r, int c) { return at(r, c); }
+    const T &operator()(int r, int c) const { return at(r, c); }
+
+    /** Mutable span over one row. */
+    std::span<T>
+    row(int r)
+    {
+        assert(r >= 0 && r < rows_);
+        return {data_.data() + static_cast<size_t>(r) * cols_,
+                static_cast<size_t>(cols_)};
+    }
+
+    /** Const span over one row. */
+    std::span<const T>
+    row(int r) const
+    {
+        assert(r >= 0 && r < rows_);
+        return {data_.data() + static_cast<size_t>(r) * cols_,
+                static_cast<size_t>(cols_)};
+    }
+
+    T *data() { return data_.data(); }
+    const T *data() const { return data_.data(); }
+
+    /** Fill all entries with @p v. */
+    void
+    fill(T v)
+    {
+        std::fill(data_.begin(), data_.end(), v);
+    }
+
+    bool
+    operator==(const Matrix &other) const
+    {
+        return rows_ == other.rows_ && cols_ == other.cols_ &&
+               data_ == other.data_;
+    }
+
+  private:
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<T> data_;
+};
+
+/** C = A * B^T ; A is (m x k), B is (n x k), C is (m x n). */
+template <typename TA, typename TB, typename TC>
+Matrix<TC>
+matmulBt(const Matrix<TA> &a, const Matrix<TB> &b)
+{
+    assert(a.cols() == b.cols());
+    Matrix<TC> c(a.rows(), b.rows());
+    for (int i = 0; i < a.rows(); i++) {
+        auto arow = a.row(i);
+        for (int j = 0; j < b.rows(); j++) {
+            auto brow = b.row(j);
+            TC acc{};
+            for (int k = 0; k < a.cols(); k++)
+                acc += static_cast<TC>(arow[k]) *
+                       static_cast<TC>(brow[k]);
+            c.at(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+/** C = A * B ; A is (m x k), B is (k x n). */
+template <typename TA, typename TB, typename TC>
+Matrix<TC>
+matmul(const Matrix<TA> &a, const Matrix<TB> &b)
+{
+    assert(a.cols() == b.rows());
+    Matrix<TC> c(a.rows(), b.cols());
+    for (int i = 0; i < a.rows(); i++) {
+        for (int k = 0; k < a.cols(); k++) {
+            const TC av = static_cast<TC>(a.at(i, k));
+            for (int j = 0; j < b.cols(); j++)
+                c.at(i, j) += av * static_cast<TC>(b.at(k, j));
+        }
+    }
+    return c;
+}
+
+using MatrixF = Matrix<float>;
+using MatrixI8 = Matrix<int8_t>;
+using MatrixI32 = Matrix<int32_t>;
+
+} // namespace pade
+
+#endif // PADE_TENSOR_MATRIX_H

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Synthetic attention workload generator.
+ *
+ * The paper evaluates on pretrained LLM/ViT checkpoints we cannot run
+ * offline, but every PADE mechanism operates on the *attention score
+ * distribution*, not on token semantics. This generator synthesizes
+ * Q/K/V with the structure those models are documented to exhibit:
+ *
+ *  - a shared context direction so scores have a low-rank component,
+ *  - heavy-tailed per-key importance ("vital tokens"; concentration
+ *    controls the tail weight => exploitable sparsity),
+ *  - an attention-sink boost on the first token and a recency boost on
+ *    the latest tokens (StreamingLLM/locality observations the paper's
+ *    head-tail interleaving exploits),
+ *  - Gaussian residual noise giving per-query variation.
+ *
+ * Knobs map one-to-one onto the paper's benchmark axes: sequence length,
+ * model concentration, dataset locality, QAT-flattened distributions.
+ */
+
+#ifndef PADE_WORKLOAD_GENERATOR_H
+#define PADE_WORKLOAD_GENERATOR_H
+
+#include <cstdint>
+
+#include "quant/bitplane.h"
+#include "quant/quantizer.h"
+#include "tensor/matrix.h"
+#include "workload/model_config.h"
+
+namespace pade {
+
+/** Full specification of one synthetic attention head workload. */
+struct WorkloadSpec
+{
+    int seq_len = 2048;     //!< number of keys/values
+    int query_len = 8;      //!< number of query rows (1 for decode)
+    int head_dim = 128;
+    double concentration = 1.0; //!< heavy-tail strength (model knob)
+    double locality = 0.5;      //!< sink + recency strength (data knob)
+    bool qat_uniform = false;   //!< QAT-like flattened distribution
+    uint64_t seed = 1;
+
+    /** Convenience: build from model + dataset presets. */
+    static WorkloadSpec fromPresets(const ModelConfig &m,
+                                    const DatasetConfig &d,
+                                    int query_len = 8, uint64_t seed = 1);
+};
+
+/** Float-precision operands of one attention head. */
+struct AttentionHead
+{
+    MatrixF q; //!< (query_len x head_dim)
+    MatrixF k; //!< (seq_len x head_dim)
+    MatrixF v; //!< (seq_len x head_dim)
+    float scale = 1.0f; //!< logit scale 1/sqrt(head_dim)
+};
+
+/** INT8-quantized operands plus key bit planes, ready for PADE. */
+struct QuantizedHead
+{
+    Quantized q;
+    Quantized k;
+    Quantized v;
+    BitPlaneSet k_planes;
+    float logit_scale = 1.0f; //!< sQ*sK/sqrt(H): int score -> logit
+
+    QuantizedHead(Quantized qq, Quantized kq, Quantized vq,
+                  int bits, float scale)
+        : q(std::move(qq)), k(std::move(kq)), v(std::move(vq)),
+          k_planes(k.values, bits),
+          logit_scale(q.params.scale * k.params.scale * scale)
+    {}
+};
+
+/** Generate one head's float operands per the spec. */
+AttentionHead generateHead(const WorkloadSpec &spec);
+
+/** Quantize a float head to INT8 (or INT4) with bit planes. */
+QuantizedHead quantizeHead(const AttentionHead &head, int bits = 8);
+
+/**
+ * Measured sparsity oracle: the fraction of (query, key) pairs whose
+ * softmax probability is below @p mass_epsilon of the row max. Gives a
+ * workload-intrinsic upper bound on exploitable sparsity.
+ */
+double oracleSparsity(const AttentionHead &head, double mass_epsilon);
+
+} // namespace pade
+
+#endif // PADE_WORKLOAD_GENERATOR_H

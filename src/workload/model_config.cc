@@ -1,0 +1,88 @@
+#include "workload/model_config.h"
+
+#include <stdexcept>
+
+namespace pade {
+
+ModelConfig
+llama2_7b()
+{
+    return {"Llama2-7B", 32, 32, 32, 128, 1.25};
+}
+
+ModelConfig
+llama3_8b()
+{
+    // GQA: 32 query heads share 8 KV heads.
+    return {"Llama3-8B", 32, 32, 8, 128, 1.3};
+}
+
+ModelConfig
+opt_1b3()
+{
+    return {"OPT-1B3", 24, 32, 32, 64, 1.1};
+}
+
+ModelConfig
+bloom_1b7()
+{
+    return {"Bloom-1B7", 24, 16, 16, 128, 1.1};
+}
+
+ModelConfig
+qwen_7b()
+{
+    return {"Qwen-7B", 32, 32, 32, 128, 1.2};
+}
+
+ModelConfig
+vit_l16()
+{
+    // Vision transformers attend more uniformly: lower concentration.
+    return {"ViT-L/16", 24, 16, 16, 64, 0.6};
+}
+
+ModelConfig
+pvt()
+{
+    return {"PVT", 16, 8, 8, 64, 0.8};
+}
+
+std::vector<ModelConfig>
+allModels()
+{
+    return {llama2_7b(), llama3_8b(), opt_1b3(), bloom_1b7(), qwen_7b(),
+            vit_l16(), pvt()};
+}
+
+DatasetConfig dsMmlu() { return {"MMLU", 512, "reasoning", 0.5}; }
+DatasetConfig dsWikitext2() { return {"Wikitext2", 2048, "modeling", 0.5}; }
+DatasetConfig dsWikilingua()
+{
+    return {"Wikilingua", 2048, "generation", 0.5};
+}
+DatasetConfig dsWinogrande()
+{
+    return {"Winogrande", 256, "reasoning", 0.4};
+}
+DatasetConfig dsMbpp() { return {"MBPP", 1024, "generation", 0.5}; }
+DatasetConfig dsDolly() { return {"Dolly", 15360, "longctx", 0.7}; }
+DatasetConfig dsPg19() { return {"PG-19", 102400, "longctx", 0.75}; }
+DatasetConfig dsInfiniteBench()
+{
+    return {"InfiniteBench", 219136, "longctx", 0.8};
+}
+DatasetConfig dsNiah1M() { return {"NIAH", 1048576, "longctx", 0.85}; }
+DatasetConfig dsImageNet() { return {"ImageNet", 576, "vision", 0.2}; }
+DatasetConfig dsVtab() { return {"VTAB", 576, "vision", 0.2}; }
+
+ModelConfig
+modelByName(const std::string &name)
+{
+    for (const auto &m : allModels())
+        if (m.name == name)
+            return m;
+    throw std::out_of_range("unknown model: " + name);
+}
+
+} // namespace pade

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Transformer model and dataset presets matching the paper's benchmark
+ * suite (§VI-A). Only the attention-relevant geometry matters for this
+ * reproduction: heads, KV heads (GQA), head dimension, layer count, and
+ * per-dataset sequence lengths.
+ */
+
+#ifndef PADE_WORKLOAD_MODEL_CONFIG_H
+#define PADE_WORKLOAD_MODEL_CONFIG_H
+
+#include <string>
+#include <vector>
+
+namespace pade {
+
+/** Attention geometry of one benchmark model. */
+struct ModelConfig
+{
+    std::string name;
+    int layers = 1;
+    int heads = 32;     //!< query heads
+    int kv_heads = 32;  //!< key/value heads (< heads => GQA)
+    int head_dim = 128;
+    /**
+     * Attention concentration knob for the synthetic logit generator:
+     * higher = spikier score distribution (more exploitable sparsity).
+     * Vision models attend more uniformly than language models.
+     */
+    double concentration = 1.0;
+
+    bool isGqa() const { return kv_heads < heads; }
+    int hidden() const { return heads * head_dim; }
+};
+
+/** A benchmark dataset: name, sequence length, task family. */
+struct DatasetConfig
+{
+    std::string name;
+    int seq_len = 2048;
+    /** "reasoning", "generation", "modeling", "vision", "longctx". */
+    std::string task;
+    /**
+     * Strength of the sink/recency locality structure in attention
+     * (long-context language data shows the strongest locality).
+     */
+    double locality = 0.5;
+};
+
+/** Model presets used across the paper's figures. */
+ModelConfig llama2_7b();
+ModelConfig llama3_8b();
+ModelConfig opt_1b3();
+ModelConfig bloom_1b7();
+ModelConfig qwen_7b();
+ModelConfig vit_l16();
+ModelConfig pvt();
+
+/** All seven benchmark models in paper order. */
+std::vector<ModelConfig> allModels();
+
+/** Dataset presets. */
+DatasetConfig dsMmlu();
+DatasetConfig dsWikitext2();
+DatasetConfig dsWikilingua();
+DatasetConfig dsWinogrande();
+DatasetConfig dsMbpp();
+DatasetConfig dsDolly();
+DatasetConfig dsPg19();
+DatasetConfig dsInfiniteBench();
+DatasetConfig dsNiah1M();
+DatasetConfig dsImageNet();
+DatasetConfig dsVtab();
+
+/** Look up a model preset by name; throws std::out_of_range if absent. */
+ModelConfig modelByName(const std::string &name);
+
+} // namespace pade
+
+#endif // PADE_WORKLOAD_MODEL_CONFIG_H

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Tests for baseline predictors, accelerator cost models, and the GPU
+ * roofline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/accelerators.h"
+#include "baselines/gpu_model.h"
+#include "baselines/predictors.h"
+
+namespace pade {
+namespace {
+
+AttentionHead
+testHead(uint64_t seed = 1, int s = 512)
+{
+    WorkloadSpec spec;
+    spec.seq_len = s;
+    spec.query_len = 8;
+    spec.head_dim = 64;
+    spec.concentration = 1.25;
+    spec.locality = 0.6;
+    spec.seed = seed;
+    return generateHead(spec);
+}
+
+TEST(Predictors, LowBitMarginMonotone)
+{
+    const AttentionHead h = testHead();
+    const MaskOutcome tight = lowBitMask(h, 4, 1.0);
+    const MaskOutcome loose = lowBitMask(h, 4, 6.0);
+    EXPECT_LE(tight.keep_rate, loose.keep_rate);
+    EXPECT_LE(tight.retained_mass, loose.retained_mass + 1e-9);
+}
+
+TEST(Predictors, HigherEstimateBitsMoreAccurate)
+{
+    // At equal keep rate, an 8-bit estimate should retain at least as
+    // much mass as a 2-bit one. Compare at matched keep by
+    // calibrating margins to the same keep rate target.
+    const AttentionHead h = testHead(2);
+    const MaskOutcome coarse = lowBitMask(h, 2, 4.0);
+    // Find the 8-bit margin with a similar keep rate.
+    double margin = 4.0;
+    MaskOutcome fine = lowBitMask(h, 8, margin);
+    for (int it = 0; it < 20 && fine.keep_rate < coarse.keep_rate;
+         it++) {
+        margin += 0.5;
+        fine = lowBitMask(h, 8, margin);
+    }
+    EXPECT_GE(fine.retained_mass, coarse.retained_mass - 0.02);
+}
+
+TEST(Predictors, CalibrateKnobHitsTarget)
+{
+    const AttentionHead h = testHead(3);
+    const double margin = calibrateKnob(
+        [&h](double m) { return lowBitMask(h, 4, m); }, 0.99, 0.0,
+        20.0);
+    const MaskOutcome out = lowBitMask(h, 4, margin);
+    EXPECT_GE(out.retained_mass, 0.99);
+    EXPECT_LT(out.keep_rate, 1.0);
+}
+
+TEST(Predictors, LowRankMask)
+{
+    const AttentionHead h = testHead(4);
+    const MaskOutcome out = lowRankMask(h, 16, 6.0);
+    EXPECT_GT(out.retained_mass, 0.5);
+    EXPECT_LT(out.keep_rate, 1.0);
+    // More rank => better estimate at the same margin.
+    const MaskOutcome better = lowRankMask(h, 64, 6.0);
+    EXPECT_GE(better.retained_mass, out.retained_mass - 0.05);
+}
+
+TEST(Predictors, ProgressiveFunnelBounds)
+{
+    const AttentionHead h = testHead(5);
+    const MaskOutcome out = progressiveMask(h, 0.25, 5.0);
+    // Stage 1 caps the keep rate at the funnel fraction.
+    EXPECT_LE(out.keep_rate, 0.25 + 1e-9);
+}
+
+TEST(Predictors, FinetunedTopkBeatsNoisy)
+{
+    const AttentionHead h = testHead(6);
+    const int k = 64;
+    const MaskOutcome clean = noisyTopkMask(h, k, 0.0);
+    const MaskOutcome noisy = noisyTopkMask(h, k, 3.0);
+    EXPECT_GE(clean.retained_mass, noisy.retained_mass);
+    EXPECT_NEAR(clean.keep_rate, noisy.keep_rate, 1e-9);
+}
+
+TEST(Predictors, LogDomainTopkReasonable)
+{
+    const AttentionHead h = testHead(7);
+    const MaskOutcome out = logDomainTopkMask(h, 128);
+    EXPECT_GT(out.retained_mass, 0.7);
+    EXPECT_NEAR(out.keep_rate, 128.0 / 512.0, 0.02);
+}
+
+TEST(Predictors, StreamingLlmKeepsSinkAndWindow)
+{
+    const AttentionHead h = testHead(8);
+    const MaskOutcome out = streamingLlmMask(h, 4, 64);
+    EXPECT_NEAR(out.keep_rate, 68.0 / 512.0, 0.01);
+    for (int i = 0; i < out.keep.rows(); i++) {
+        EXPECT_EQ(out.keep.at(i, 0), 1);
+        EXPECT_EQ(out.keep.at(i, 511), 1);
+        EXPECT_EQ(out.keep.at(i, 256), 0);
+    }
+}
+
+TEST(Predictors, MinferenceAddsDynamicBlocks)
+{
+    const AttentionHead h = testHead(9);
+    const MaskOutcome stat = streamingLlmMask(h, 4, 64);
+    const MaskOutcome dyn = minferenceMask(h, 4, 64, 0.15);
+    EXPECT_GE(dyn.retained_mass, stat.retained_mass);
+}
+
+TEST(Predictors, DoubleSparsityChannels)
+{
+    const AttentionHead h = testHead(10);
+    const MaskOutcome few = doubleSparsityMask(h, 4, 96);
+    const MaskOutcome many = doubleSparsityMask(h, 64, 96);
+    // Same budget, better estimate with more channels.
+    EXPECT_GE(many.retained_mass, few.retained_mass - 0.02);
+}
+
+TEST(Accelerators, DenseEnergyHighest)
+{
+    AttentionDims d{8, 2048, 128, 8};
+    const double dense = denseAccelRun(d).metrics.energy.total();
+    for (const char *name : {"Sanger", "DOTA", "Energon", "SOFA"}) {
+        const double e =
+            runBaselineByName(name, d, 0.2).metrics.energy.total();
+        EXPECT_LT(e, dense) << name;
+    }
+}
+
+TEST(Accelerators, PredictorShareGrowsAsExecutorShrinks)
+{
+    // Paper Fig. 2(a): at 16-bit executors the predictor is a small
+    // share; at 8-bit it dominates.
+    AttentionDims wide{8, 2048, 128, 16};
+    AttentionDims narrow{8, 2048, 128, 8};
+    const BaselineOutcome b16 = sangerRun(wide, 0.25);
+    const BaselineOutcome b8 = sangerRun(narrow, 0.25);
+    const double share16 = b16.predictor_pj /
+        (b16.predictor_pj + b16.executor_pj);
+    const double share8 = b8.predictor_pj /
+        (b8.predictor_pj + b8.executor_pj);
+    EXPECT_GT(share8, share16);
+}
+
+TEST(Accelerators, SofaPredictorCheaperThanSanger)
+{
+    AttentionDims d{8, 2048, 128, 8};
+    EXPECT_LT(sofaRun(d, 0.25).predictor_pj,
+              sangerRun(d, 0.25).predictor_pj);
+}
+
+TEST(Accelerators, KeepRateDrivesExecutor)
+{
+    AttentionDims d{8, 2048, 128, 8};
+    const BaselineOutcome lean = sangerRun(d, 0.1);
+    const BaselineOutcome fat = sangerRun(d, 0.5);
+    EXPECT_LT(lean.executor_pj, fat.executor_pj);
+    // Predictor cost is keep-independent (it reads full K).
+    EXPECT_NEAR(lean.predictor_pj, fat.predictor_pj, 1e-6);
+}
+
+TEST(Accelerators, PredictorOverheadGrowsWithSeqLen)
+{
+    // Paper Fig. 2(b): predictor/executor ratio grows with S because
+    // longer sequences are sparser (smaller keep).
+    AttentionDims short_d{8, 1024, 128, 8};
+    AttentionDims long_d{8, 8192, 128, 8};
+    const BaselineOutcome bs = sangerRun(short_d, 0.3);
+    const BaselineOutcome bl = sangerRun(long_d, 0.1);
+    EXPECT_GT(bl.predictor_pj / bl.executor_pj,
+              bs.predictor_pj / bs.executor_pj);
+}
+
+TEST(Accelerators, UnknownNameThrows)
+{
+    AttentionDims d{8, 512, 64, 8};
+    EXPECT_THROW(runBaselineByName("nope", d, 0.2),
+                 std::out_of_range);
+}
+
+TEST(Gpu, Fa3ReducesTraffic)
+{
+    AttentionDims d{2048, 2048, 128, 8};
+    GpuOptions with;
+    GpuOptions without;
+    without.fa3 = false;
+    EXPECT_LT(gpuAttention(d, with).dram_bytes,
+              gpuAttention(d, without).dram_bytes);
+    EXPECT_LE(gpuAttention(d, with).time_ns,
+              gpuAttention(d, without).time_ns);
+}
+
+TEST(Gpu, CausalHalvesWork)
+{
+    AttentionDims d{2048, 2048, 128, 8};
+    GpuOptions causal;
+    GpuOptions full;
+    full.causal = false;
+    EXPECT_NEAR(gpuAttention(d, causal).useful_ops,
+                0.5 * gpuAttention(d, full).useful_ops, 1.0);
+}
+
+TEST(Gpu, ReplicasScaleLinearly)
+{
+    AttentionDims d{2048, 2048, 128, 8};
+    GpuOptions one;
+    one.replicas = 1.0;
+    GpuOptions many;
+    many.replicas = 32.0;
+    const RunMetrics m1 = gpuAttention(d, one);
+    const RunMetrics m32 = gpuAttention(d, many);
+    EXPECT_GT(m32.time_ns, 10.0 * m1.time_ns);
+    EXPECT_NEAR(m32.useful_ops, 32.0 * m1.useful_ops, 1.0);
+}
+
+TEST(Gpu, SoftwareSparsityLimitedGain)
+{
+    // Paper Fig. 18(b): software BUI-GF on GPU yields only modest
+    // gains because the detection pass costs a full QK sweep.
+    AttentionDims d{8192, 8192, 128, 8};
+    const RunMetrics dense = gpuDense(d);
+    const RunMetrics sparse = gpuBuiGf(d, 0.1, true);
+    EXPECT_LT(sparse.time_ns, dense.time_ns);
+    EXPECT_GT(sparse.time_ns, 0.5 * dense.time_ns);
+}
+
+TEST(Gpu, ModelAttentionDecodeRuns)
+{
+    // The GPU model is calibrated to the paper's measured (kernel-
+    // bound) attention behaviour, so utilization is low across the
+    // board; decode still moves the whole KV footprint.
+    const RunMetrics m = gpuModelAttention(llama2_7b(), dsWikitext2(),
+                                           GpuOptions{}, true, 16);
+    EXPECT_GT(m.time_ns, 0.0);
+    EXPECT_GT(m.bw_utilization, 0.01);
+    EXPECT_GT(m.dram_bytes,
+              16ull * 32 * 32 * 2048 * 128); // steps*L*H*S*h
+}
+
+} // namespace
+} // namespace pade

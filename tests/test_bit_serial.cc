@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for bidirectional-sparsity bit-serial kernels (paper Eqs. 5-6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/bit_serial.h"
+
+namespace pade {
+namespace {
+
+MatrixI8
+randomInt8(int r, int c, uint64_t seed)
+{
+    Rng rng(seed);
+    MatrixI8 m(r, c);
+    for (int i = 0; i < r; i++)
+        for (int j = 0; j < c; j++)
+            m.at(i, j) = static_cast<int8_t>(rng.range(-128, 127));
+    return m;
+}
+
+TEST(BitSerial, PlaneDeltasSumToExactDot)
+{
+    MatrixI8 q = randomInt8(1, 64, 1);
+    MatrixI8 k = randomInt8(4, 64, 2);
+    BitPlaneSet planes(k, 8);
+    for (int j = 0; j < 4; j++) {
+        int64_t acc = 0;
+        for (int r = 0; r < 8; r++)
+            acc += planeDelta(q.row(0), planes, j, r);
+        int64_t ref = 0;
+        for (int d = 0; d < 64; d++)
+            ref += static_cast<int64_t>(q.at(0, d)) * k.at(j, d);
+        EXPECT_EQ(acc, ref);
+    }
+}
+
+TEST(BitSerial, BsEquivalence)
+{
+    // Eq. (6): 0-mode accumulation must be bit-identical to 1-mode.
+    MatrixI8 q = randomInt8(1, 64, 3);
+    MatrixI8 k = randomInt8(16, 64, 4);
+    BitPlaneSet planes(k, 8);
+    for (int j = 0; j < 16; j++)
+        for (int r = 0; r < 8; r++)
+            EXPECT_EQ(planeDeltaBs(q.row(0), planes, j, r, 8),
+                      planeDelta(q.row(0), planes, j, r));
+}
+
+TEST(BitSerial, BsEquivalenceOddSizes)
+{
+    // Dimensions not divisible by the sub-group size.
+    MatrixI8 q = randomInt8(1, 37, 5);
+    MatrixI8 k = randomInt8(8, 37, 6);
+    BitPlaneSet planes(k, 8);
+    for (int j = 0; j < 8; j++)
+        for (int r = 0; r < 8; r++)
+            for (int g : {3, 8, 16})
+                EXPECT_EQ(planeDeltaBs(q.row(0), planes, j, r, g),
+                          planeDelta(q.row(0), planes, j, r));
+}
+
+TEST(BitSerial, SelectedBoundedByHalf)
+{
+    // BS guarantee: selected elements never exceed 50% of the plane.
+    MatrixI8 k = randomInt8(32, 64, 7);
+    BitPlaneSet planes(k, 8);
+    for (int j = 0; j < 32; j++) {
+        for (int r = 0; r < 8; r++) {
+            const PlaneWork w = planeWork(planes, j, r, 8, 4);
+            EXPECT_LE(w.selected_bs, 32);
+            EXPECT_LE(w.selected_bs, w.selected_naive);
+        }
+    }
+}
+
+TEST(BitSerial, SubgroupBoundsSelection)
+{
+    // Per sub-group of 8, BS selects at most 4 -> one pass through the
+    // 4 muxes: cycles_bs is always 1.
+    MatrixI8 k = randomInt8(32, 64, 8);
+    BitPlaneSet planes(k, 8);
+    for (int j = 0; j < 32; j++) {
+        for (int r = 0; r < 8; r++) {
+            const PlaneWork w = planeWork(planes, j, r, 8, 4);
+            EXPECT_EQ(w.cycles_bs, 1);
+            EXPECT_LE(w.cycles_naive, 2);
+            EXPECT_GE(w.cycles_naive, w.cycles_bs);
+        }
+    }
+}
+
+TEST(BitSerial, AllOnesPlaneUsesZeroMode)
+{
+    MatrixI8 k(1, 16);
+    k.fill(-1); // all bits set in every plane (two's complement -1)
+    BitPlaneSet planes(k, 8);
+    for (int r = 0; r < 8; r++) {
+        const PlaneWork w = planeWork(planes, 1 - 1, r, 8, 4);
+        EXPECT_EQ(w.selected_bs, 0);       // zeros side is empty
+        EXPECT_EQ(w.selected_naive, 16);   // ones side is full
+        EXPECT_EQ(w.zero_mode_groups, 2);
+        EXPECT_EQ(w.cycles_bs, 1);
+        EXPECT_EQ(w.cycles_naive, 2);
+    }
+}
+
+TEST(BitSerial, AllZerosPlaneFree)
+{
+    MatrixI8 k(1, 16); // zeros
+    BitPlaneSet planes(k, 8);
+    const PlaneWork w = planeWork(planes, 0, 0, 8, 4);
+    EXPECT_EQ(w.selected_bs, 0);
+    EXPECT_EQ(w.selected_naive, 0);
+    EXPECT_EQ(w.zero_mode_groups, 0);
+}
+
+TEST(BitSerial, ZeroModeDeltaForAllOnes)
+{
+    // With all bits one, plane delta = weight * qsum: 0-mode computes
+    // it without touching a single element.
+    Rng rng(9);
+    MatrixI8 q(1, 16);
+    int64_t qsum = 0;
+    for (int d = 0; d < 16; d++) {
+        q.at(0, d) = static_cast<int8_t>(rng.range(-50, 50));
+        qsum += q.at(0, d);
+    }
+    MatrixI8 k(1, 16);
+    k.fill(-1);
+    BitPlaneSet planes(k, 8);
+    EXPECT_EQ(planeDelta(q.row(0), planes, 0, 0), -128 * qsum);
+    EXPECT_EQ(planeDeltaBs(q.row(0), planes, 0, 0, 8), -128 * qsum);
+}
+
+/** Property sweep over sub-group/mux combinations. */
+class GsatGeometryTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(GsatGeometryTest, WorkAccountingConsistent)
+{
+    const auto [subgroup, muxes] = GetParam();
+    MatrixI8 k = randomInt8(8, 64, 10);
+    BitPlaneSet planes(k, 8);
+    for (int j = 0; j < 8; j++) {
+        for (int r = 0; r < 8; r++) {
+            const PlaneWork w = planeWork(planes, j, r, subgroup,
+                                          muxes);
+            EXPECT_GE(w.cycles_bs, 1);
+            EXPECT_GE(w.cycles_naive, w.cycles_bs);
+            EXPECT_LE(w.selected_bs,
+                      planes.numCols() / 2 + planes.numCols() %
+                      subgroup);
+            // Cycle bound: ceil(subgroup/2 / muxes).
+            EXPECT_LE(w.cycles_bs,
+                      (subgroup / 2 + muxes - 1) / muxes + 1);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GsatGeometryTest,
+    ::testing::Values(std::make_pair(4, 2), std::make_pair(8, 4),
+                      std::make_pair(16, 4), std::make_pair(16, 8),
+                      std::make_pair(32, 8)));
+
+} // namespace
+} // namespace pade

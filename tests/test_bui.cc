@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Property tests for the bit-wise uncertainty interval (BUI), including
+ * the paper's Fig. 6 worked example.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/bui.h"
+#include "quant/bitplane.h"
+
+namespace pade {
+namespace {
+
+MatrixI8
+randomInt8(int r, int c, uint64_t seed, int bits = 8)
+{
+    Rng rng(seed);
+    MatrixI8 m(r, c);
+    const int lo = -(1 << (bits - 1));
+    const int hi = (1 << (bits - 1)) - 1;
+    for (int i = 0; i < r; i++)
+        for (int j = 0; j < c; j++)
+            m.at(i, j) = static_cast<int8_t>(rng.range(lo, hi));
+    return m;
+}
+
+TEST(Bui, QsumDecomposition)
+{
+    std::vector<int8_t> q = {5, -3, 0, 7, -2};
+    const BuiTable t = computeBuiTable(q, 8);
+    EXPECT_EQ(t.qsum, 7);
+    EXPECT_EQ(t.qsum_pos, 12);
+    EXPECT_EQ(t.qsum_neg, -5);
+    EXPECT_EQ(t.qsum, t.qsum_pos + t.qsum_neg);
+}
+
+TEST(Bui, IntervalSigns)
+{
+    std::vector<int8_t> q = {5, -3, 7};
+    const BuiTable t = computeBuiTable(q, 8);
+    for (int r = 0; r < 8; r++) {
+        EXPECT_LE(t.lower(r), 0);
+        EXPECT_GE(t.upper(r), 0);
+    }
+}
+
+TEST(Bui, IntervalCollapsesAtLsb)
+{
+    std::vector<int8_t> q = {5, -3, 7, 100, -100};
+    const BuiTable t = computeBuiTable(q, 8);
+    EXPECT_EQ(t.lower(7), 0);
+    EXPECT_EQ(t.upper(7), 0);
+}
+
+TEST(Bui, IntervalShrinksMonotonically)
+{
+    std::vector<int8_t> q = {5, -3, 7, 100, -100, 1};
+    const BuiTable t = computeBuiTable(q, 8);
+    for (int r = 1; r < 8; r++) {
+        EXPECT_GE(t.lower(r), t.lower(r - 1));
+        EXPECT_LE(t.upper(r), t.upper(r - 1));
+    }
+}
+
+TEST(Bui, Fig6WorkedExample)
+{
+    // 6-bit format with two fractional bits: integers are 4x the
+    // fractional values. Q = [6, -5, 9, -4]; after the MSB plane the
+    // paper reports I^{0,min} = -69.75 and I^{0,max} = +116.25.
+    std::vector<int8_t> q = {6, -5, 9, -4};
+    const BuiTable t = computeBuiTable(q, 6);
+    // M_0 = 2^5 - 1 = 31 integer units = 7.75 fractional.
+    EXPECT_DOUBLE_EQ(t.lower(0) / 4.0, -69.75);
+    EXPECT_DOUBLE_EQ(t.upper(0) / 4.0, 116.25);
+    // With (MSB, MSB-1) known (paper Fig. 6(b)): M_1 = 15 -> 3.75.
+    EXPECT_DOUBLE_EQ(t.lower(1) / 4.0, -33.75);
+    EXPECT_DOUBLE_EQ(t.upper(1) / 4.0, 56.25);
+}
+
+TEST(Bui, Fig6BoundsOnScores)
+{
+    // Continue the worked example: S^0 = -32 gives bounds
+    // [-101.75, 84.25] (paper Fig. 6(a)).
+    std::vector<int8_t> q = {6, -5, 9, -4};
+    MatrixI8 k(1, 4);
+    k.at(0, 0) = 0;
+    k.at(0, 1) = -1;
+    k.at(0, 2) = -32;
+    k.at(0, 3) = 31;
+    BitPlaneSet planes(k, 6);
+    const BuiTable t = computeBuiTable(q, 6);
+
+    const int64_t s0 = partialDot(q, planes, 0, 0);
+    EXPECT_DOUBLE_EQ(s0 / 4.0, -32.0);
+    EXPECT_DOUBLE_EQ((s0 + t.lower(0)) / 4.0, -101.75);
+    EXPECT_DOUBLE_EQ((s0 + t.upper(0)) / 4.0, 84.25);
+}
+
+/**
+ * Core soundness property (parameterized over bit width): at every
+ * plane depth r, the exact dot product lies inside
+ * [S^r + I^{r,min}, S^r + I^{r,max}], and the bounds nest as r grows.
+ */
+class BuiSoundnessTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BuiSoundnessTest, BoundsContainExactScore)
+{
+    const int bits = GetParam();
+    const int dims = 48;
+    const int keys = 32;
+    MatrixI8 q = randomInt8(4, dims, 500 + bits, 8);
+    MatrixI8 k = randomInt8(keys, dims, 600 + bits, bits);
+    BitPlaneSet planes(k, bits);
+
+    for (int i = 0; i < 4; i++) {
+        const BuiTable t = computeBuiTable(q.row(i), bits);
+        for (int j = 0; j < keys; j++) {
+            const int64_t exact = exactDot(q.row(i), planes, j);
+            int64_t prev_lb = INT64_MIN;
+            int64_t prev_ub = INT64_MAX;
+            for (int r = 0; r < bits; r++) {
+                const int64_t s = partialDot(q.row(i), planes, j, r);
+                const int64_t lb = s + t.lower(r);
+                const int64_t ub = s + t.upper(r);
+                ASSERT_LE(lb, exact)
+                    << "bits=" << bits << " r=" << r;
+                ASSERT_GE(ub, exact)
+                    << "bits=" << bits << " r=" << r;
+                // Nesting: more planes never widen the interval.
+                ASSERT_GE(lb, prev_lb);
+                ASSERT_LE(ub, prev_ub);
+                prev_lb = lb;
+                prev_ub = ub;
+            }
+            // Interval collapses exactly at the LSB.
+            const int64_t s_last =
+                partialDot(q.row(i), planes, j, bits - 1);
+            ASSERT_EQ(s_last, exact);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BuiSoundnessTest,
+                         ::testing::Values(4, 6, 8));
+
+TEST(Bui, GroupCombineMatchesPaperFig25Structure)
+{
+    // Two groups with different scales; the combined interval is the
+    // scale-weighted sum.
+    std::vector<int64_t> lo = {-100, -50};
+    std::vector<int64_t> hi = {200, 80};
+    std::vector<float> scales = {0.5f, 2.0f};
+    const auto [l, h] = combineGroupBui(lo, hi, scales);
+    EXPECT_DOUBLE_EQ(l, -100 * 0.5 + -50 * 2.0);
+    EXPECT_DOUBLE_EQ(h, 200 * 0.5 + 80 * 2.0);
+}
+
+TEST(Bui, GroupCombineSoundness)
+{
+    // Split a 64-dim dot product into two 32-dim groups and verify the
+    // combined group-wise interval still contains the exact value.
+    Rng rng(321);
+    MatrixI8 q = randomInt8(1, 64, 700);
+    MatrixI8 k = randomInt8(1, 64, 701);
+    BitPlaneSet full(k, 8);
+    const int64_t exact = exactDot(q.row(0), full, 0);
+
+    // Per-group tables and partial scores at plane depth r.
+    MatrixI8 k0(1, 32);
+    MatrixI8 k1(1, 32);
+    for (int d = 0; d < 32; d++) {
+        k0.at(0, d) = k.at(0, d);
+        k1.at(0, d) = k.at(0, d + 32);
+    }
+    BitPlaneSet p0(k0, 8);
+    BitPlaneSet p1(k1, 8);
+    std::vector<int8_t> q0(q.row(0).begin(), q.row(0).begin() + 32);
+    std::vector<int8_t> q1(q.row(0).begin() + 32, q.row(0).end());
+    const BuiTable t0 = computeBuiTable(q0, 8);
+    const BuiTable t1 = computeBuiTable(q1, 8);
+
+    for (int r = 0; r < 8; r++) {
+        const int64_t s0 = partialDot(q0, p0, 0, r);
+        const int64_t s1 = partialDot(q1, p1, 0, r);
+        std::vector<int64_t> lo = {s0 + t0.lower(r), s1 + t1.lower(r)};
+        std::vector<int64_t> hi = {s0 + t0.upper(r), s1 + t1.upper(r)};
+        std::vector<float> scales = {1.0f, 1.0f};
+        const auto [l, h] = combineGroupBui(lo, hi, scales);
+        EXPECT_LE(l, static_cast<double>(exact));
+        EXPECT_GE(h, static_cast<double>(exact));
+    }
+}
+
+} // namespace
+} // namespace pade

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the workload driver: model scaling, calibration, decode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/driver.h"
+
+namespace pade {
+namespace {
+
+SimRequest
+request()
+{
+    SimRequest req{llama2_7b(), dsMmlu()};
+    req.max_sim_seq = 512;
+    return req;
+}
+
+TEST(Driver, BlockAndTotalConsistent)
+{
+    const SimOutcome o = simulatePade(ArchConfig{}, request());
+    EXPECT_GT(o.scale_factor, 1.0);
+    EXPECT_NEAR(o.total.time_ns, o.block.time_ns * o.scale_factor,
+                1e-6 * o.total.time_ns);
+    // Energy is at most linear scaling; cross-block retained-KV
+    // caching discounts part of the DRAM term.
+    EXPECT_LE(o.total.energy.total(),
+              o.block.energy.total() * o.scale_factor * (1 + 1e-9));
+    EXPECT_GT(o.total.energy.total(),
+              0.3 * o.block.energy.total() * o.scale_factor);
+}
+
+TEST(Driver, CrossBlockCachingReducesDram)
+{
+    const SimOutcome o = simulatePade(ArchConfig{}, request());
+    EXPECT_LT(static_cast<double>(o.total.dram_bytes),
+              static_cast<double>(o.block.dram_bytes) *
+              o.scale_factor);
+}
+
+TEST(Driver, ScaleFactorFormula)
+{
+    SimRequest req = request();
+    // Llama2: 32 layers, 32 KV heads, group 1, 512 queries / 8 per
+    // block = 64 blocks, x0.5 causal, sim_seq == seq_len.
+    const double f = modelScaleFactor(req, 512, 8);
+    EXPECT_DOUBLE_EQ(f, 0.5 * 32.0 * 32.0 * 64.0);
+}
+
+TEST(Driver, GqaSharesKvStreams)
+{
+    SimRequest mha = request();
+    SimRequest gqa = request();
+    gqa.model = llama3_8b(); // 32 heads, 8 KV heads
+    const double f_mha = modelScaleFactor(mha, 512, 8);
+    const double f_gqa = modelScaleFactor(gqa, 512, 8);
+    // Same query count, but GQA runs 4x fewer KV streams with 4x the
+    // blocks each => identical block count overall.
+    EXPECT_DOUBLE_EQ(f_mha, f_gqa);
+}
+
+TEST(Driver, DecodeScaling)
+{
+    SimRequest req = request();
+    req.decode = true;
+    req.decode_steps = 10;
+    const double f = modelScaleFactor(req, 512, 1);
+    EXPECT_DOUBLE_EQ(f, 10.0 * 32.0 * 32.0);
+}
+
+TEST(Driver, LongSequencesCapped)
+{
+    SimRequest req{llama2_7b(), dsDolly()};
+    req.max_sim_seq = 2048;
+    const SimOutcome o = simulatePade(ArchConfig{}, req);
+    EXPECT_EQ(o.simulated_seq, 2048);
+    // The cap is made up by a larger scale factor.
+    EXPECT_GT(o.scale_factor,
+              modelScaleFactor(req, req.dataset.seq_len, 8) *
+              0.9 * 2048.0 / req.dataset.seq_len);
+}
+
+TEST(Driver, CalibrationReachesTarget)
+{
+    SimRequest req = request();
+    req.radius = 10.0;
+    const double alpha = calibrateAlpha(req, 0.99);
+    req.alpha = alpha;
+    const SimOutcome o = simulatePade(ArchConfig{}, req);
+    EXPECT_GE(o.retained_mass, 0.985);
+}
+
+TEST(Driver, CalibrationMonotone)
+{
+    SimRequest req = request();
+    req.radius = 10.0;
+    const double a_loose = calibrateAlpha(req, 0.95);
+    const double a_tight = calibrateAlpha(req, 0.995);
+    EXPECT_LE(a_loose, a_tight);
+}
+
+TEST(Driver, QatReducesSparsity)
+{
+    SimRequest normal = request();
+    SimRequest qat = request();
+    qat.qat = true;
+    const SimOutcome on = simulatePade(ArchConfig{}, normal);
+    const SimOutcome oq = simulatePade(ArchConfig{}, qat);
+    EXPECT_GT(oq.block.prune.keepRate(), on.block.prune.keepRate());
+}
+
+TEST(Driver, Int4FewerPlanes)
+{
+    SimRequest req = request();
+    req.bits = 4;
+    const SimOutcome o = simulatePade(ArchConfig{}, req);
+    EXPECT_LE(o.block.prune.avgPlanesPerKey(), 4.0);
+}
+
+} // namespace
+} // namespace pade

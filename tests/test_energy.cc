@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for energy accounting and the analytic area model (paper
+ * Fig. 17(a) DSE and Fig. 20 breakdown).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/area_model.h"
+#include "energy/energy_model.h"
+#include "energy/tech.h"
+
+namespace pade {
+namespace {
+
+TEST(EnergyModel, GopsPerWatt)
+{
+    // 1000 ops at 1 pJ each: 1000 ops / 1000 pJ = 1 op/pJ = 1000 GOPS/W.
+    EXPECT_DOUBLE_EQ(gopsPerWatt(1000.0, 1000.0), 1000.0);
+    EXPECT_DOUBLE_EQ(gopsPerWatt(100.0, 0.0), 0.0);
+}
+
+TEST(EnergyModel, PowerMw)
+{
+    // 1000 pJ over 1000 ns = 1 mW.
+    EXPECT_DOUBLE_EQ(powerMw(1000.0, 1000.0), 1.0);
+}
+
+TEST(EnergyModel, BreakdownAccumulates)
+{
+    EnergyBreakdown e;
+    e.add("pe_lane", 10.0, &EnergyBreakdown::compute_pj);
+    e.add("buffers", 5.0, &EnergyBreakdown::sram_pj);
+    e.add("pe_lane", 2.0, &EnergyBreakdown::compute_pj);
+    EXPECT_DOUBLE_EQ(e.compute_pj, 12.0);
+    EXPECT_DOUBLE_EQ(e.total(), 17.0);
+    EXPECT_DOUBLE_EQ(e.modules.at("pe_lane"), 12.0);
+}
+
+TEST(EnergyModel, BreakdownAddition)
+{
+    EnergyBreakdown a;
+    a.add("x", 1.0, &EnergyBreakdown::compute_pj);
+    EnergyBreakdown b;
+    b.add("x", 2.0, &EnergyBreakdown::dram_pj);
+    a += b;
+    EXPECT_DOUBLE_EQ(a.total(), 3.0);
+    EXPECT_DOUBLE_EQ(a.modules.at("x"), 3.0);
+}
+
+TEST(AreaModel, DefaultNearPaperTotal)
+{
+    const AreaReport rep = padeArea(AreaParams{});
+    // Paper: 4.53 mm^2 at 28 nm; the analytic model should land within
+    // 15%.
+    EXPECT_NEAR(rep.total(), 4.53, 4.53 * 0.15);
+}
+
+TEST(AreaModel, ModuleSharesMatchPaperShape)
+{
+    const AreaReport rep = padeArea(AreaParams{});
+    const double total = rep.total();
+    // PE lanes are the largest block (paper: 34.1%), V-PU second
+    // (28.5%), buffers third (23%).
+    const double lanes = rep.modules.at("pe_lane") / total;
+    const double vpu = rep.modules.at("vpu") / total;
+    const double bufs = rep.modules.at("buffers") / total;
+    EXPECT_GT(lanes, vpu);
+    EXPECT_GT(vpu, bufs);
+    EXPECT_NEAR(lanes, 0.341, 0.08);
+    EXPECT_NEAR(vpu, 0.285, 0.08);
+    EXPECT_NEAR(bufs, 0.23, 0.08);
+    // Sparsity-support modules stay small (paper: BUI ~4.9% area).
+    const double bui = (rep.modules.at("bui_generator") +
+                        rep.modules.at("bui_gf_module")) / total;
+    EXPECT_LT(bui, 0.10);
+}
+
+TEST(AreaModel, ScoreboardScalesWithEntries)
+{
+    AreaParams p;
+    const double base = padeArea(p).modules.at("scoreboard");
+    p.scoreboard_entries = 64;
+    const double doubled = padeArea(p).modules.at("scoreboard");
+    EXPECT_NEAR(doubled, 2.0 * base, 1e-9);
+}
+
+TEST(AreaModel, GsatOptimumAtSubgroup8)
+{
+    // Paper Fig. 17(a): sub-group size 8 minimizes area+power.
+    const double c8 = gsatCost(64, 8).area_mm2;
+    for (int g : {2, 4, 16, 32, 64})
+        EXPECT_LT(c8, gsatCost(64, g).area_mm2) << "g=" << g;
+}
+
+TEST(AreaModel, GsatCurveShape)
+{
+    // The curve is a U: both extremes are >1.5x the optimum, matching
+    // the paper's normalized plot.
+    const double c8 = gsatCost(64, 8).area_mm2;
+    EXPECT_GT(gsatCost(64, 2).area_mm2 / c8, 1.5);
+    EXPECT_GT(gsatCost(64, 64).area_mm2 / c8, 1.5);
+}
+
+TEST(AreaModel, PowerTracksArea)
+{
+    const GsatCost a = gsatCost(64, 8);
+    const GsatCost b = gsatCost(64, 64);
+    EXPECT_GT(b.power_mw, a.power_mw);
+}
+
+TEST(Tech, ConstantsSane)
+{
+    EXPECT_GT(tech::kInt8MacPj, tech::kInt4MacPj);
+    EXPECT_GT(tech::kFp16ExpPj, tech::kFp16MacPj);
+    EXPECT_DOUBLE_EQ(tech::kNsPerCycle, 1.25);
+}
+
+} // namespace
+} // namespace pade

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the HBM2 model, SRAM buffers, and the bit-plane layouts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/hbm.h"
+#include "memory/layout.h"
+#include "memory/sram.h"
+
+namespace pade {
+namespace {
+
+TEST(Hbm, SequentialReadsHitRowBuffer)
+{
+    HbmModel hbm;
+    double t = 0.0;
+    // Stay inside one channel-interleave granule and one row.
+    auto a0 = hbm.read(0, 32, t);
+    EXPECT_FALSE(a0.row_hit);
+    auto a1 = hbm.read(32, 32, a0.complete_ns);
+    EXPECT_TRUE(a1.row_hit);
+    auto a2 = hbm.read(64, 32, a1.complete_ns);
+    EXPECT_TRUE(a2.row_hit);
+}
+
+TEST(Hbm, RowMissAfterConflict)
+{
+    HbmModel hbm;
+    const auto &cfg = hbm.config();
+    auto a0 = hbm.read(0, 32, 0.0);
+    // Same channel+bank, different row.
+    const uint64_t far = static_cast<uint64_t>(cfg.row_bytes) *
+        cfg.channels * cfg.banks_per_channel *
+        (cfg.channel_interleave_bytes / cfg.row_bytes + 1) * 64;
+    auto a1 = hbm.read(far - far % cfg.channel_interleave_bytes, 32,
+                       a0.complete_ns);
+    // Either a different bank (hit state empty -> miss) or same bank
+    // different row (miss): first touch of any row is a miss.
+    EXPECT_FALSE(a1.row_hit);
+}
+
+TEST(Hbm, LatencyOrdering)
+{
+    HbmModel hbm;
+    const auto miss = hbm.read(0, 32, 0.0);
+    const auto hit = hbm.read(32, 32, miss.complete_ns);
+    const double miss_lat = miss.complete_ns - miss.issue_ns;
+    const double hit_lat = hit.complete_ns - hit.issue_ns;
+    EXPECT_GT(miss_lat, hit_lat);
+    EXPECT_NEAR(miss_lat - hit_lat,
+                hbm.config().t_rc_ns - hbm.config().t_cl_ns, 1e-9);
+}
+
+TEST(Hbm, BurstRounding)
+{
+    HbmModel hbm;
+    hbm.read(0, 8, 0.0); // 8 useful bytes -> one 32-byte burst
+    EXPECT_EQ(hbm.busBytes(), 32u);
+    EXPECT_EQ(hbm.usefulBytes(), 8u);
+    hbm.read(1024, 33, 100.0); // 33 bytes -> two bursts
+    EXPECT_EQ(hbm.busBytes(), 32u + 64u);
+}
+
+TEST(Hbm, ChannelsServeInParallel)
+{
+    HbmModel hbm;
+    const int granule = hbm.config().channel_interleave_bytes;
+    // Two requests to different channels both start at t=0.
+    auto a = hbm.read(0, 32, 0.0);
+    auto b = hbm.read(granule, 32, 0.0);
+    EXPECT_DOUBLE_EQ(a.issue_ns, 0.0);
+    EXPECT_DOUBLE_EQ(b.issue_ns, 0.0);
+    // Same channel back-to-back queues behind the first request's
+    // occupancy (transfer + activation gap for the row miss).
+    auto c = hbm.read(32, 32, 0.0);
+    const double burst_ns = hbm.config().burst_bytes /
+        hbm.config().channel_gbps;
+    EXPECT_GE(c.issue_ns, burst_ns + hbm.config().t_activate_ns -
+              1e-9);
+}
+
+TEST(Hbm, EnergyTracksBusBytes)
+{
+    HbmModel hbm;
+    hbm.read(0, 32, 0.0);
+    EXPECT_DOUBLE_EQ(hbm.energyPj(),
+                     32.0 * 8.0 * hbm.config().energy_pj_per_bit);
+}
+
+TEST(Hbm, BandwidthUtilizationBounded)
+{
+    HbmModel hbm;
+    double t = 0.0;
+    for (int i = 0; i < 100; i++)
+        t = hbm.read(static_cast<uint64_t>(i) * 32, 32, t).complete_ns;
+    const double u = hbm.bandwidthUtilization(t);
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+}
+
+TEST(Hbm, ResetClearsCounters)
+{
+    HbmModel hbm;
+    hbm.read(0, 32, 0.0);
+    hbm.reset();
+    EXPECT_EQ(hbm.busBytes(), 0u);
+    EXPECT_EQ(hbm.usefulBytes(), 0u);
+}
+
+TEST(Hbm, RowHitRate)
+{
+    HbmModel hbm;
+    double t = 0.0;
+    for (int i = 0; i < 8; i++)
+        t = hbm.read(static_cast<uint64_t>(i) * 32, 32, t).complete_ns;
+    // 1 miss + 7 hits within one 256B granule... 256/32 = 8 accesses
+    // in row 0 of channel 0.
+    EXPECT_NEAR(hbm.rowHitRate(), 7.0 / 8.0, 1e-9);
+}
+
+TEST(Sram, CountsAndEnergy)
+{
+    SramBuffer buf("kv", 320 * 1024);
+    buf.read(64);
+    buf.write(32);
+    EXPECT_EQ(buf.bytesRead(), 64u);
+    EXPECT_EQ(buf.bytesWritten(), 32u);
+    EXPECT_GT(buf.energyPj(), 0.0);
+    buf.reset();
+    EXPECT_EQ(buf.bytesRead(), 0u);
+}
+
+TEST(Sram, EnergyScalesWithCapacity)
+{
+    SramBuffer small("s", 32 * 1024);
+    SramBuffer big("b", 512 * 1024);
+    EXPECT_GT(big.readEnergyPerByte(), small.readEnergyPerByte());
+}
+
+TEST(Sram, AreaScalesLinearly)
+{
+    SramBuffer a("a", 32 * 1024);
+    SramBuffer b("b", 64 * 1024);
+    EXPECT_NEAR(b.areaMm2(), 2.0 * a.areaMm2(), 1e-9);
+}
+
+TEST(Layout, BitPlaneInterleavedIsPlaneMajor)
+{
+    KAddressMap map(KLayout::BitPlaneInterleaved, 100, 8, 8);
+    // Consecutive keys of the same plane are adjacent.
+    EXPECT_EQ(map.address(1, 0) - map.address(0, 0), 8u);
+    // Planes are far apart (plane stride = seq_len * plane_bytes).
+    EXPECT_EQ(map.address(0, 1) - map.address(0, 0), 800u);
+}
+
+TEST(Layout, ValueMajorIsKeyMajor)
+{
+    KAddressMap map(KLayout::ValueMajor, 100, 8, 8);
+    EXPECT_EQ(map.address(0, 1) - map.address(0, 0), 8u);
+    EXPECT_EQ(map.address(1, 0) - map.address(0, 0), 64u);
+}
+
+TEST(Layout, RegionBytesIdentical)
+{
+    KAddressMap a(KLayout::BitPlaneInterleaved, 64, 8, 8);
+    KAddressMap b(KLayout::ValueMajor, 64, 8, 8);
+    EXPECT_EQ(a.regionBytes(), b.regionBytes());
+    EXPECT_EQ(a.regionBytes(), 64u * 8u * 8u);
+}
+
+TEST(Layout, AddressesUniquePerPlaneKey)
+{
+    KAddressMap map(KLayout::BitPlaneInterleaved, 16, 8, 8);
+    std::set<uint64_t> seen;
+    for (int j = 0; j < 16; j++)
+        for (int r = 0; r < 8; r++)
+            EXPECT_TRUE(seen.insert(map.address(j, r)).second);
+}
+
+TEST(Layout, StreamingPlaneHitsRowsMoreThanValueMajor)
+{
+    // Reading the MSB plane of many keys: the plane-major layout should
+    // produce a higher row-hit rate than value-major.
+    const int s = 512;
+    const int plane_bytes = 8;
+    KAddressMap plane_major(KLayout::BitPlaneInterleaved, s,
+                            plane_bytes, 8);
+    KAddressMap value_major(KLayout::ValueMajor, s, plane_bytes, 8);
+
+    auto run = [&](const KAddressMap &map) {
+        HbmModel hbm;
+        double t = 0.0;
+        for (int j = 0; j < s; j++)
+            t = hbm.read(map.address(j, 0), plane_bytes, t).complete_ns;
+        return hbm.rowHitRate();
+    };
+    EXPECT_GT(run(plane_major), run(value_major));
+}
+
+TEST(Layout, RowMajorAddress)
+{
+    EXPECT_EQ(rowMajorAddress(1000, 3, 128), 1000u + 384u);
+}
+
+} // namespace
+} // namespace pade

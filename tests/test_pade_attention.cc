@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Integration tests for the functional PADE sparse attention (BSF +
+ * BUI-GF + ISTA).
+ */
+
+#include <gtest/gtest.h>
+
+#include "attention/metrics.h"
+#include "attention/online_softmax.h"
+#include "attention/reference.h"
+#include "core/pade_attention.h"
+#include "workload/generator.h"
+
+namespace pade {
+namespace {
+
+WorkloadSpec
+smallSpec(uint64_t seed = 1)
+{
+    WorkloadSpec spec;
+    spec.seq_len = 256;
+    spec.query_len = 4;
+    spec.head_dim = 64;
+    spec.concentration = 1.25;
+    spec.locality = 0.6;
+    spec.seed = seed;
+    return spec;
+}
+
+TEST(ScanOrder, PermutationProperty)
+{
+    for (bool ht : {false, true}) {
+        const auto order = istaScanOrder(100, 16, ht);
+        ASSERT_EQ(order.size(), 100u);
+        std::vector<bool> seen(100, false);
+        for (int j : order) {
+            ASSERT_GE(j, 0);
+            ASSERT_LT(j, 100);
+            EXPECT_FALSE(seen[j]);
+            seen[j] = true;
+        }
+    }
+}
+
+TEST(ScanOrder, NaturalWhenDisabled)
+{
+    const auto order = istaScanOrder(32, 8, false);
+    for (int j = 0; j < 32; j++)
+        EXPECT_EQ(order[j], j);
+}
+
+TEST(ScanOrder, HeadTailVisitsLastTileSecond)
+{
+    const auto order = istaScanOrder(64, 16, true);
+    // First tile: keys 0..15; second visited tile: keys 48..63.
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[16], 48);
+}
+
+TEST(PadeAttention, GuardDisabledKeepsEverything)
+{
+    const QuantizedHead head = quantizeHead(generateHead(smallSpec()));
+    PadeConfig cfg;
+    cfg.guard_enabled = false;
+    const PadeResult res = padeAttention(head, cfg);
+    EXPECT_EQ(res.stats.keys_retained, res.stats.keys_total);
+    EXPECT_EQ(res.stats.planes_processed, res.stats.planes_total);
+    EXPECT_DOUBLE_EQ(prunedFraction(res.keep), 0.0);
+}
+
+TEST(PadeAttention, GuardDisabledMatchesDenseInt8)
+{
+    // With no pruning, PADE output must equal dense attention computed
+    // over the same quantized operands.
+    const AttentionHead head = generateHead(smallSpec(2));
+    const QuantizedHead qh = quantizeHead(head);
+    PadeConfig cfg;
+    cfg.guard_enabled = false;
+    const PadeResult res = padeAttention(qh, cfg);
+
+    const MatrixF qf = dequantize(qh.q);
+    const MatrixF kf = dequantize(qh.k);
+    const MatrixF vf = dequantize(qh.v);
+    const MatrixF ref = denseAttention(qf, kf, vf, head.scale);
+    EXPECT_LT(relativeError(res.out, ref), 1e-4);
+}
+
+TEST(PadeAttention, OutputMatchesMaskedOracle)
+{
+    // Retained scores are exact, so the output must equal masked
+    // attention under the produced keep mask.
+    const AttentionHead head = generateHead(smallSpec(3));
+    const QuantizedHead qh = quantizeHead(head);
+    const PadeResult res = padeAttention(qh);
+
+    const MatrixF qf = dequantize(qh.q);
+    const MatrixF kf = dequantize(qh.k);
+    const MatrixF vf = dequantize(qh.v);
+    const MatrixF ref = maskedAttention(qf, kf, vf, head.scale,
+                                        res.keep);
+    EXPECT_LT(relativeError(res.out, ref), 1e-4);
+}
+
+TEST(PadeAttention, AtLeastOneKeyRetainedPerRow)
+{
+    // The argmax key can never be pruned (its upper bound stays above
+    // any threshold derived from lower bounds).
+    for (uint64_t seed = 1; seed <= 8; seed++) {
+        const QuantizedHead head =
+            quantizeHead(generateHead(smallSpec(seed)));
+        PadeConfig cfg;
+        cfg.alpha = 0.0; // most aggressive
+        const PadeResult res = padeAttention(head, cfg);
+        for (const auto &row : res.retained)
+            EXPECT_GE(row.size(), 1u);
+    }
+}
+
+TEST(PadeAttention, PrunesOnSpikyWorkload)
+{
+    const QuantizedHead head = quantizeHead(generateHead(smallSpec(4)));
+    const PadeResult res = padeAttention(head);
+    EXPECT_LT(res.stats.keepRate(), 0.9);
+    EXPECT_GT(res.stats.planeReduction(), 0.2);
+}
+
+TEST(PadeAttention, RetainedMassHighAtDefaults)
+{
+    // Paper defaults (radius 5, alpha 0.55) land near the "1% loss"
+    // aggressive point on continuum workloads.
+    const AttentionHead head = generateHead(smallSpec(5));
+    const QuantizedHead qh = quantizeHead(head);
+    const PadeResult res = padeAttention(qh);
+    const MatrixF logits = attentionLogits(head.q, head.k, head.scale);
+    EXPECT_GT(retainedMass(logits, res.keep), 0.85);
+}
+
+TEST(PadeAttention, WideGuardReachesLosslessMass)
+{
+    // A wider guard band (margin = alpha * radius = 10 logits)
+    // realizes the paper's "standard" ~0%-loss operating point. Use a
+    // longer sequence: exploitable sparsity grows with length.
+    WorkloadSpec spec = smallSpec(5);
+    spec.seq_len = 1024;
+    const AttentionHead head = generateHead(spec);
+    const QuantizedHead qh = quantizeHead(head);
+    PadeConfig cfg;
+    cfg.alpha = 1.0;
+    cfg.radius = 10.0;
+    const PadeResult res = padeAttention(qh, cfg);
+    const MatrixF logits = attentionLogits(head.q, head.k, head.scale);
+    EXPECT_GT(retainedMass(logits, res.keep), 0.995);
+    // And it still prunes a meaningful fraction of the pair space.
+    EXPECT_LT(res.stats.keepRate(), 0.8);
+}
+
+TEST(PadeAttention, AlphaMonotonicity)
+{
+    const QuantizedHead head = quantizeHead(generateHead(smallSpec(6)));
+    uint64_t prev_retained = 0;
+    for (double alpha : {0.0, 0.3, 0.6, 1.0}) {
+        PadeConfig cfg;
+        cfg.alpha = alpha;
+        const PadeResult res = padeAttention(head, cfg);
+        EXPECT_GE(res.stats.keys_retained, prev_retained)
+            << "alpha=" << alpha;
+        prev_retained = res.stats.keys_retained;
+    }
+}
+
+TEST(PadeAttention, StatsConsistency)
+{
+    const QuantizedHead head = quantizeHead(generateHead(smallSpec(7)));
+    const PadeResult res = padeAttention(head);
+
+    uint64_t kept = 0;
+    uint64_t planes = 0;
+    for (int i = 0; i < res.keep.rows(); i++) {
+        for (int j = 0; j < res.keep.cols(); j++) {
+            kept += res.keep.at(i, j);
+            planes += res.planes.at(i, j);
+            if (res.keep.at(i, j)) {
+                EXPECT_EQ(res.planes.at(i, j), 8);
+            }
+            if (res.planes.at(i, j) == 0) {
+                EXPECT_EQ(res.keep.at(i, j), 0);
+            }
+        }
+    }
+    EXPECT_EQ(kept, res.stats.keys_retained);
+    EXPECT_EQ(planes, res.stats.planes_processed);
+    EXPECT_EQ(res.stats.keys_total,
+              static_cast<uint64_t>(res.keep.rows()) *
+              res.keep.cols());
+    EXPECT_LE(res.stats.ops_bs, res.stats.ops_naive +
+              res.stats.planes_processed);
+}
+
+TEST(PadeAttention, CausalMasksFutureKeys)
+{
+    WorkloadSpec spec = smallSpec(8);
+    spec.query_len = 4;
+    const QuantizedHead head = quantizeHead(generateHead(spec));
+    PadeConfig cfg;
+    cfg.causal = true;
+    const PadeResult res = padeAttention(head, cfg);
+    const int s = spec.seq_len;
+    const int p = spec.query_len;
+    for (int i = 0; i < p; i++) {
+        const int qpos = s - p + i;
+        for (int j = qpos + 1; j < s; j++) {
+            EXPECT_EQ(res.keep.at(i, j), 0);
+            EXPECT_EQ(res.planes.at(i, j), 0);
+        }
+    }
+    // keys_total counts only the visible keys.
+    uint64_t visible = 0;
+    for (int i = 0; i < p; i++)
+        visible += static_cast<uint64_t>(s - p + i + 1);
+    EXPECT_EQ(res.stats.keys_total, visible);
+}
+
+TEST(PadeAttention, HeadTailReducesMaxUpdates)
+{
+    // On locality-heavy workloads the interleaved order should not do
+    // more max updates than natural order (paper Fig. 10).
+    WorkloadSpec spec = smallSpec(9);
+    spec.locality = 0.9;
+    spec.seq_len = 512;
+    const QuantizedHead head = quantizeHead(generateHead(spec));
+
+    PadeConfig natural;
+    natural.head_tail = false;
+    PadeConfig interleaved;
+    interleaved.head_tail = true;
+    const PadeResult a = padeAttention(head, natural);
+    const PadeResult b = padeAttention(head, interleaved);
+    EXPECT_LE(b.stats.max_updates, a.stats.max_updates);
+}
+
+TEST(PadeAttention, BothScanOrdersAccurate)
+{
+    // The scan order changes how the threshold evolves (head-tail sees
+    // strong sink/recent tokens first), so the keep masks may differ —
+    // but both must remain faithful to the dense reference.
+    const AttentionHead head = generateHead(smallSpec(10));
+    const QuantizedHead qh = quantizeHead(head);
+    const MatrixF ref = denseAttention(head.q, head.k, head.v,
+                                       head.scale);
+    for (bool ht : {false, true}) {
+        PadeConfig cfg;
+        cfg.head_tail = ht;
+        cfg.alpha = 1.0;
+        cfg.radius = 10.0; // standard (lossless-class) guard band
+        const PadeResult res = padeAttention(qh, cfg);
+        EXPECT_LT(relativeError(res.out, ref), 0.08) << "ht=" << ht;
+    }
+}
+
+TEST(PadeAttention, BsOpsNeverExceedNaive)
+{
+    const QuantizedHead head =
+        quantizeHead(generateHead(smallSpec(11)));
+    const PadeResult res = padeAttention(head);
+    EXPECT_LE(res.stats.ops_bs, res.stats.ops_naive);
+}
+
+TEST(PadeAttention, Int4KeysSupported)
+{
+    const AttentionHead head = generateHead(smallSpec(12));
+    const QuantizedHead qh = quantizeHead(head, 4);
+    EXPECT_EQ(qh.k_planes.numPlanes(), 4);
+    const PadeResult res = padeAttention(qh);
+    EXPECT_GE(res.stats.keys_retained, 1u);
+    // Exactness contract holds at 4 bits too: the output equals masked
+    // attention over the INT4-dequantized operands.
+    const MatrixF ref = maskedAttention(dequantize(qh.q),
+                                        dequantize(qh.k),
+                                        dequantize(qh.v), head.scale,
+                                        res.keep);
+    EXPECT_LT(relativeError(res.out, ref), 1e-4);
+}
+
+/** Alpha sweep property: retained mass decreases monotonically-ish. */
+class AlphaSweepTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(AlphaSweepTest, MassAboveFloor)
+{
+    const double alpha = GetParam();
+    const AttentionHead head = generateHead(smallSpec(13));
+    const QuantizedHead qh = quantizeHead(head);
+    PadeConfig cfg;
+    cfg.alpha = alpha;
+    const PadeResult res = padeAttention(qh, cfg);
+    const MatrixF logits = attentionLogits(head.q, head.k, head.scale);
+    // Even aggressive pruning keeps the argmax, so mass stays
+    // meaningful; conservative alpha keeps nearly everything.
+    const double mass = retainedMass(logits, res.keep);
+    EXPECT_GT(mass, 0.5);
+    if (alpha >= 0.8) {
+        EXPECT_GT(mass, 0.95);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweepTest,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8, 1.0));
+
+} // namespace
+} // namespace pade

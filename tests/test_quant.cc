@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for symmetric PTQ and MXINT group quantization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "quant/mxint.h"
+#include "quant/quantizer.h"
+
+namespace pade {
+namespace {
+
+MatrixF
+randomMatrix(int r, int c, uint64_t seed, double scale = 1.0)
+{
+    Rng rng(seed);
+    MatrixF m(r, c);
+    for (int i = 0; i < r; i++)
+        for (int j = 0; j < c; j++)
+            m.at(i, j) = static_cast<float>(scale * rng.gaussian());
+    return m;
+}
+
+TEST(Quantizer, RoundTripSmallError)
+{
+    const MatrixF m = randomMatrix(16, 64, 1);
+    EXPECT_LT(quantizationError(m, 8), 0.01);
+}
+
+TEST(Quantizer, Int4ErrorLargerThanInt8)
+{
+    const MatrixF m = randomMatrix(16, 64, 2);
+    EXPECT_GT(quantizationError(m, 4), quantizationError(m, 8));
+    EXPECT_LT(quantizationError(m, 4), 0.2);
+}
+
+TEST(Quantizer, AbsmaxMapsToQmax)
+{
+    MatrixF m(1, 3, {-4.0f, 2.0f, 1.0f});
+    const Quantized q = quantizeSymmetric(m, 8);
+    EXPECT_EQ(q.values.at(0, 0), -127);
+    EXPECT_FLOAT_EQ(q.params.scale, 4.0f / 127.0f);
+}
+
+TEST(Quantizer, ZeroMatrixSafe)
+{
+    MatrixF m(4, 4);
+    const Quantized q = quantizeSymmetric(m, 8);
+    EXPECT_FLOAT_EQ(q.params.scale, 1.0f);
+    for (int i = 0; i < 4; i++)
+        for (int j = 0; j < 4; j++)
+            EXPECT_EQ(q.values.at(i, j), 0);
+}
+
+TEST(Quantizer, QuantizeValueSaturates)
+{
+    QuantParams p{1.0f, 8};
+    EXPECT_EQ(quantizeValue(1000.0f, p), 127);
+    EXPECT_EQ(quantizeValue(-1000.0f, p), -128);
+}
+
+TEST(Quantizer, BitWidthRanges)
+{
+    QuantParams p8{1.0f, 8};
+    QuantParams p4{1.0f, 4};
+    EXPECT_EQ(p8.qmax(), 127);
+    EXPECT_EQ(p8.qmin(), -128);
+    EXPECT_EQ(p4.qmax(), 7);
+    EXPECT_EQ(p4.qmin(), -8);
+}
+
+TEST(Quantizer, DequantizeShape)
+{
+    const MatrixF m = randomMatrix(3, 5, 3);
+    const MatrixF d = dequantize(quantizeSymmetric(m, 8));
+    EXPECT_EQ(d.rows(), 3);
+    EXPECT_EQ(d.cols(), 5);
+}
+
+TEST(MxInt, RoundTripSmallError)
+{
+    const MatrixF m = randomMatrix(8, 128, 4);
+    EXPECT_LT(mxQuantizationError(m, 32), 0.01);
+}
+
+TEST(MxInt, BeatsPerTensorOnOutliers)
+{
+    // One row with a huge outlier destroys per-tensor scaling but not
+    // group scaling.
+    MatrixF m = randomMatrix(4, 64, 5);
+    m.at(0, 0) = 500.0f;
+    EXPECT_LT(mxQuantizationError(m, 32), quantizationError(m, 8));
+}
+
+TEST(MxInt, GroupCountAndScales)
+{
+    const MatrixF m = randomMatrix(2, 70, 6);
+    const MxQuantized q = mxQuantize(m, 32);
+    EXPECT_EQ(q.groupsPerRow(), 3); // ceil(70/32)
+    EXPECT_EQ(q.scales.size(), 6u);
+    for (float s : q.scales)
+        EXPECT_GT(s, 0.0f);
+}
+
+TEST(MxInt, GroupAbsmaxHits127)
+{
+    MatrixF m(1, 64);
+    m.fill(1.0f);
+    m.at(0, 10) = -8.0f;  // group 0 absmax
+    m.at(0, 40) = 2.0f;   // group 1 absmax
+    const MxQuantized q = mxQuantize(m, 32);
+    EXPECT_EQ(q.values.at(0, 10), -127);
+    EXPECT_EQ(q.values.at(0, 40), 127);
+    EXPECT_FLOAT_EQ(q.scaleAt(0, 0), 8.0f / 127.0f);
+    EXPECT_FLOAT_EQ(q.scaleAt(0, 1), 2.0f / 127.0f);
+}
+
+/** Property sweep: round-trip error shrinks with bit width. */
+class QuantBitsTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(QuantBitsTest, ErrorBoundedByStepSize)
+{
+    const int bits = GetParam();
+    const MatrixF m = randomMatrix(8, 32, 100 + bits, 2.0);
+    const Quantized q = quantizeSymmetric(m, bits);
+    const MatrixF d = dequantize(q);
+    // Max elementwise error is half a quantization step.
+    for (int i = 0; i < m.rows(); i++) {
+        for (int j = 0; j < m.cols(); j++) {
+            EXPECT_LE(std::fabs(d.at(i, j) - m.at(i, j)),
+                      0.5f * q.params.scale + 1e-6f);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, QuantBitsTest,
+                         ::testing::Values(4, 5, 6, 7, 8));
+
+} // namespace
+} // namespace pade

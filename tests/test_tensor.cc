@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for the matrix substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/matrix.h"
+
+namespace pade {
+namespace {
+
+TEST(Matrix, ConstructZeroInitialized)
+{
+    MatrixF m(2, 3);
+    EXPECT_EQ(m.rows(), 2);
+    EXPECT_EQ(m.cols(), 3);
+    for (int i = 0; i < 2; i++)
+        for (int j = 0; j < 3; j++)
+            EXPECT_FLOAT_EQ(m.at(i, j), 0.0f);
+}
+
+TEST(Matrix, RowSpanWritesThrough)
+{
+    MatrixF m(2, 2);
+    auto r = m.row(1);
+    r[0] = 5.0f;
+    EXPECT_FLOAT_EQ(m.at(1, 0), 5.0f);
+}
+
+TEST(Matrix, FillAndEquality)
+{
+    MatrixI8 a(2, 2);
+    MatrixI8 b(2, 2);
+    a.fill(3);
+    b.fill(3);
+    EXPECT_TRUE(a == b);
+    b.at(0, 0) = 4;
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Matrix, FromExplicitData)
+{
+    Matrix<int> m(2, 2, {1, 2, 3, 4});
+    EXPECT_EQ(m.at(0, 0), 1);
+    EXPECT_EQ(m.at(0, 1), 2);
+    EXPECT_EQ(m.at(1, 0), 3);
+    EXPECT_EQ(m.at(1, 1), 4);
+}
+
+TEST(Matmul, AgainstHandComputed)
+{
+    // A (2x3) * B (3x2).
+    MatrixF a(2, 3, {1, 2, 3, 4, 5, 6});
+    MatrixF b(3, 2, {7, 8, 9, 10, 11, 12});
+    auto c = matmul<float, float, float>(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(MatmulBt, MatchesMatmulWithTranspose)
+{
+    MatrixF a(2, 3, {1, -2, 3, 0, 5, -6});
+    MatrixF b(4, 3, {1, 0, 1, 2, 1, 0, -1, -1, -1, 3, 2, 1});
+    auto c = matmulBt<float, float, float>(a, b);
+    ASSERT_EQ(c.rows(), 2);
+    ASSERT_EQ(c.cols(), 4);
+    for (int i = 0; i < 2; i++) {
+        for (int j = 0; j < 4; j++) {
+            float ref = 0.0f;
+            for (int k = 0; k < 3; k++)
+                ref += a.at(i, k) * b.at(j, k);
+            EXPECT_FLOAT_EQ(c.at(i, j), ref);
+        }
+    }
+}
+
+TEST(MatmulBt, IntegerAccumulation)
+{
+    MatrixI8 a(1, 4, {127, -128, 127, -128});
+    MatrixI8 b(1, 4, {127, 127, -128, -128});
+    auto c = matmulBt<int8_t, int8_t, int32_t>(a, b);
+    // 127*127 - 128*127 - 127*128 + 128*128 = (127-128)*(127-128) = 1.
+    EXPECT_EQ(c.at(0, 0), 1);
+}
+
+TEST(Matrix, EmptyMatrix)
+{
+    MatrixF m;
+    EXPECT_EQ(m.rows(), 0);
+    EXPECT_EQ(m.cols(), 0);
+    EXPECT_TRUE(m.empty());
+}
+
+} // namespace
+} // namespace pade

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for model presets and the synthetic workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attention/reference.h"
+#include "workload/generator.h"
+#include "workload/model_config.h"
+
+namespace pade {
+namespace {
+
+TEST(ModelConfig, PresetsCoverPaperSuite)
+{
+    const auto models = allModels();
+    ASSERT_EQ(models.size(), 7u);
+    EXPECT_EQ(models[0].name, "Llama2-7B");
+    EXPECT_EQ(models[1].name, "Llama3-8B");
+}
+
+TEST(ModelConfig, GqaDetected)
+{
+    EXPECT_FALSE(llama2_7b().isGqa());
+    EXPECT_TRUE(llama3_8b().isGqa());
+    EXPECT_EQ(llama3_8b().kv_heads, 8);
+}
+
+TEST(ModelConfig, HiddenDimension)
+{
+    EXPECT_EQ(llama2_7b().hidden(), 4096);
+}
+
+TEST(ModelConfig, LookupByName)
+{
+    EXPECT_EQ(modelByName("Qwen-7B").head_dim, 128);
+    EXPECT_THROW(modelByName("nope"), std::out_of_range);
+}
+
+TEST(Datasets, SequenceLengths)
+{
+    EXPECT_EQ(dsMmlu().seq_len, 512);
+    EXPECT_EQ(dsWikitext2().seq_len, 2048);
+    EXPECT_GT(dsDolly().seq_len, 15000);
+    EXPECT_GT(dsInfiniteBench().seq_len, 200000);
+    EXPECT_GT(dsNiah1M().seq_len, 1000000);
+}
+
+TEST(Generator, ShapesMatchSpec)
+{
+    WorkloadSpec spec;
+    spec.seq_len = 100;
+    spec.query_len = 4;
+    spec.head_dim = 32;
+    const AttentionHead head = generateHead(spec);
+    EXPECT_EQ(head.q.rows(), 4);
+    EXPECT_EQ(head.q.cols(), 32);
+    EXPECT_EQ(head.k.rows(), 100);
+    EXPECT_EQ(head.v.rows(), 100);
+    EXPECT_NEAR(head.scale, 1.0f / std::sqrt(32.0f), 1e-6f);
+}
+
+TEST(Generator, DeterministicForSeed)
+{
+    WorkloadSpec spec;
+    spec.seq_len = 50;
+    spec.seed = 77;
+    const AttentionHead a = generateHead(spec);
+    const AttentionHead b = generateHead(spec);
+    EXPECT_TRUE(a.k == b.k);
+    EXPECT_TRUE(a.q == b.q);
+}
+
+TEST(Generator, SeedChangesData)
+{
+    WorkloadSpec spec;
+    spec.seq_len = 50;
+    spec.seed = 1;
+    const AttentionHead a = generateHead(spec);
+    spec.seed = 2;
+    const AttentionHead b = generateHead(spec);
+    EXPECT_FALSE(a.k == b.k);
+}
+
+TEST(Generator, SinkTokenDominatesWithLocality)
+{
+    WorkloadSpec spec;
+    spec.seq_len = 256;
+    spec.query_len = 4;
+    spec.locality = 0.9;
+    spec.seed = 3;
+    const AttentionHead head = generateHead(spec);
+    const MatrixF logits = attentionLogits(head.q, head.k, head.scale);
+    // Token 0 (the sink) should beat the median token for every query.
+    for (int i = 0; i < 4; i++) {
+        std::vector<float> row(logits.row(i).begin(),
+                               logits.row(i).end());
+        std::nth_element(row.begin(), row.begin() + row.size() / 2,
+                         row.end());
+        EXPECT_GT(logits.at(i, 0), row[row.size() / 2]);
+    }
+}
+
+TEST(Generator, OracleSparsityGrowsWithConcentration)
+{
+    WorkloadSpec flat;
+    flat.seq_len = 512;
+    flat.query_len = 4;
+    flat.concentration = 0.3;
+    flat.seed = 4;
+    WorkloadSpec spiky = flat;
+    spiky.concentration = 1.6;
+    const double s_flat = oracleSparsity(generateHead(flat), 1e-3);
+    const double s_spiky = oracleSparsity(generateHead(spiky), 1e-3);
+    EXPECT_GT(s_spiky, s_flat);
+}
+
+TEST(Generator, QatFlattensDistribution)
+{
+    WorkloadSpec normal;
+    normal.seq_len = 512;
+    normal.query_len = 4;
+    normal.concentration = 1.2;
+    normal.seed = 5;
+    WorkloadSpec qat = normal;
+    qat.qat_uniform = true;
+    EXPECT_LT(oracleSparsity(generateHead(qat), 1e-3),
+              oracleSparsity(generateHead(normal), 1e-3));
+}
+
+TEST(Generator, QuantizeHeadProducesPlanes)
+{
+    WorkloadSpec spec;
+    spec.seq_len = 64;
+    spec.query_len = 2;
+    spec.head_dim = 64;
+    const QuantizedHead qh = quantizeHead(generateHead(spec), 8);
+    EXPECT_EQ(qh.k_planes.numPlanes(), 8);
+    EXPECT_EQ(qh.k_planes.numRows(), 64);
+    EXPECT_GT(qh.logit_scale, 0.0f);
+}
+
+TEST(Generator, QuantizedLogitsTrackFloatLogits)
+{
+    WorkloadSpec spec;
+    spec.seq_len = 128;
+    spec.query_len = 4;
+    spec.seed = 6;
+    const AttentionHead head = generateHead(spec);
+    const QuantizedHead qh = quantizeHead(head, 8);
+    const MatrixF ref = attentionLogits(head.q, head.k, head.scale);
+
+    double err = 0.0;
+    double den = 0.0;
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 128; j++) {
+            int64_t acc = 0;
+            for (int d = 0; d < spec.head_dim; d++)
+                acc += static_cast<int64_t>(qh.q.values.at(i, d)) *
+                       qh.k.values.at(j, d);
+            const double logit = qh.logit_scale *
+                static_cast<double>(acc);
+            err += (logit - ref.at(i, j)) * (logit - ref.at(i, j));
+            den += static_cast<double>(ref.at(i, j)) * ref.at(i, j);
+        }
+    }
+    EXPECT_LT(std::sqrt(err / den), 0.05);
+}
+
+TEST(Generator, FromPresetsCopiesKnobs)
+{
+    const auto spec = WorkloadSpec::fromPresets(llama2_7b(), dsMmlu(),
+                                                8, 9);
+    EXPECT_EQ(spec.seq_len, 512);
+    EXPECT_EQ(spec.head_dim, 128);
+    EXPECT_DOUBLE_EQ(spec.concentration, 1.25);
+    EXPECT_EQ(spec.seed, 9u);
+}
+
+/** Oracle sparsity should be substantial for LLM-like settings. */
+class SparsityRangeTest
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(SparsityRangeTest, WithinExpectedBand)
+{
+    const auto [conc, min_sparsity] = GetParam();
+    WorkloadSpec spec;
+    spec.seq_len = 1024;
+    spec.query_len = 4;
+    spec.concentration = conc;
+    spec.locality = 0.6;
+    spec.seed = 11;
+    const double s = oracleSparsity(generateHead(spec), 1e-3);
+    EXPECT_GE(s, min_sparsity);
+    EXPECT_LE(s, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Concentrations, SparsityRangeTest,
+    ::testing::Values(std::make_pair(0.8, 0.3),
+                      std::make_pair(1.25, 0.5),
+                      std::make_pair(1.6, 0.6)));
+
+} // namespace
+} // namespace pade
