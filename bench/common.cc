@@ -2,17 +2,32 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <functional>
+#include <iterator>
 
 namespace pade {
 namespace bench {
+
+ThreadPool &
+benchPool()
+{
+    static ThreadPool pool;
+    return pool;
+}
 
 OperatingPoints
 calibratePoints(SimRequest req)
 {
     req.radius = kCalibRadius;
     OperatingPoints pts;
-    pts.alpha_standard = calibrateAlpha(req, kStandardMass);
-    pts.alpha_aggressive = calibrateAlpha(req, kAggressiveMass);
+    // The two operating points are independent binary searches; run
+    // them side by side on the shared pool.
+    parallelFor(benchPool(), 2, [&](int i) {
+        if (i == 0)
+            pts.alpha_standard = calibrateAlpha(req, kStandardMass);
+        else
+            pts.alpha_aggressive = calibrateAlpha(req, kAggressiveMass);
+    });
     return pts;
 }
 
@@ -33,42 +48,65 @@ calibrateBaselines(const SimRequest &req, double target_mass, int cap)
     const int s = head.k.rows();
     BaselineKeeps keeps;
 
-    keeps.sanger = lowBitMask(
-        head, 4,
-        calibrateKnob([&head](double m) { return lowBitMask(head, 4,
-                                                            m); },
-                      target_mass, 0.0, 25.0)).keep_rate;
-    keeps.dota = lowRankMask(
-        head, 16,
-        calibrateKnob([&head](double m) { return lowRankMask(head, 16,
-                                                             m); },
-                      target_mass, 0.0, 25.0)).keep_rate;
-    keeps.energon = progressiveMask(
-        head, 0.5,
-        calibrateKnob([&head](double m) {
-            return progressiveMask(head, 0.5, m);
-        }, target_mass, 0.0, 25.0)).keep_rate;
     // Un-finetuned prev-layer guidance correlates weakly with the
     // current layer: noise comparable to the logit spread. Finetuning
     // restores a tight estimate.
     constexpr double kNoFtSigma = 8.0;
     constexpr double kFtSigma = 1.0;
-    keeps.spatten = noisyTopkMask(
-        head, static_cast<int>(calibrateKnob([&head, s](double k) {
-            return noisyTopkMask(head, std::max(1, static_cast<int>(k)),
-                                 kNoFtSigma);
-        }, target_mass, 1.0, s)), kNoFtSigma).keep_rate;
-    keeps.spatten_ft = noisyTopkMask(
-        head, static_cast<int>(calibrateKnob([&head, s](double k) {
-            return noisyTopkMask(head, std::max(1, static_cast<int>(k)),
-                                 kFtSigma);
-        }, target_mass, 1.0, s)), kFtSigma).keep_rate;
-    keeps.sofa = logDomainTopkMask(
-        head, static_cast<int>(calibrateKnob([&head, s](double k) {
-            return logDomainTopkMask(head,
-                                     std::max(1,
-                                              static_cast<int>(k)));
-        }, target_mass, 1.0, s))).keep_rate;
+
+    // Each baseline's knob search only reads the shared head, so the
+    // six calibrations fan out across the bench pool.
+    const std::function<void()> tasks[] = {
+        [&] {
+            keeps.sanger = lowBitMask(
+                head, 4,
+                calibrateKnob([&head](double m) {
+                    return lowBitMask(head, 4, m);
+                }, target_mass, 0.0, 25.0)).keep_rate;
+        },
+        [&] {
+            keeps.dota = lowRankMask(
+                head, 16,
+                calibrateKnob([&head](double m) {
+                    return lowRankMask(head, 16, m);
+                }, target_mass, 0.0, 25.0)).keep_rate;
+        },
+        [&] {
+            keeps.energon = progressiveMask(
+                head, 0.5,
+                calibrateKnob([&head](double m) {
+                    return progressiveMask(head, 0.5, m);
+                }, target_mass, 0.0, 25.0)).keep_rate;
+        },
+        [&] {
+            keeps.spatten = noisyTopkMask(
+                head,
+                static_cast<int>(calibrateKnob([&head](double k) {
+                    return noisyTopkMask(
+                        head, std::max(1, static_cast<int>(k)),
+                        kNoFtSigma);
+                }, target_mass, 1.0, s)), kNoFtSigma).keep_rate;
+        },
+        [&] {
+            keeps.spatten_ft = noisyTopkMask(
+                head,
+                static_cast<int>(calibrateKnob([&head](double k) {
+                    return noisyTopkMask(
+                        head, std::max(1, static_cast<int>(k)),
+                        kFtSigma);
+                }, target_mass, 1.0, s)), kFtSigma).keep_rate;
+        },
+        [&] {
+            keeps.sofa = logDomainTopkMask(
+                head,
+                static_cast<int>(calibrateKnob([&head](double k) {
+                    return logDomainTopkMask(
+                        head, std::max(1, static_cast<int>(k)));
+                }, target_mass, 1.0, s))).keep_rate;
+        },
+    };
+    parallelFor(benchPool(), static_cast<int>(std::size(tasks)),
+                [&tasks](int i) { tasks[i](); });
     return keeps;
 }
 

@@ -9,6 +9,8 @@
 #ifndef PADE_ARCH_DRIVER_H
 #define PADE_ARCH_DRIVER_H
 
+#include <cstdint>
+
 #include "arch/pade_accelerator.h"
 #include "workload/model_config.h"
 

@@ -50,6 +50,47 @@ RunMetrics::scaled(double f) const
     return m;
 }
 
+RunMetrics &
+RunMetrics::operator+=(const RunMetrics &o)
+{
+    // Intensive ratios first: cycle-weighted mean over both runs.
+    const double w0 = cycles;
+    const double w1 = o.cycles;
+    const double wsum = w0 + w1;
+    if (wsum > 0.0) {
+        utilization = (utilization * w0 + o.utilization * w1) / wsum;
+        bw_utilization =
+            (bw_utilization * w0 + o.bw_utilization * w1) / wsum;
+        row_hit_rate =
+            (row_hit_rate * w0 + o.row_hit_rate * w1) / wsum;
+    }
+
+    qk_cycles += o.qk_cycles;
+    v_cycles += o.v_cycles;
+    cycles += o.cycles;
+    time_ns += o.time_ns;
+    useful_ops += o.useful_ops;
+    energy += o.energy;
+    dram_bytes += o.dram_bytes;
+    sram_bytes += o.sram_bytes;
+    busy_cycles += o.busy_cycles;
+    dram_stall_cycles += o.dram_stall_cycles;
+    intra_pe_stall_cycles += o.intra_pe_stall_cycles;
+    inter_pe_stall_cycles += o.inter_pe_stall_cycles;
+    bit_shift_cycles += o.bit_shift_cycles;
+
+    prune.planes_processed += o.prune.planes_processed;
+    prune.planes_total += o.prune.planes_total;
+    prune.keys_retained += o.prune.keys_retained;
+    prune.keys_total += o.prune.keys_total;
+    prune.ops_bs += o.prune.ops_bs;
+    prune.ops_naive += o.prune.ops_naive;
+    prune.max_updates += o.prune.max_updates;
+    prune.rescale_ops += o.prune.rescale_ops;
+    prune.threshold_updates += o.prune.threshold_updates;
+    return *this;
+}
+
 PadeAccelerator::PadeAccelerator(ArchConfig cfg) : cfg_(cfg)
 {
 }

@@ -21,6 +21,7 @@
 #ifndef PADE_ARCH_QK_PU_H
 #define PADE_ARCH_QK_PU_H
 
+#include <cstdint>
 #include <vector>
 
 #include "arch/arch_config.h"

@@ -61,6 +61,14 @@ struct RunMetrics
 
     /** Scale every extensive quantity by @p f (heads/layers scaling). */
     RunMetrics scaled(double f) const;
+
+    /**
+     * Accumulate another run: extensive quantities add; intensive
+     * ratios (utilization, bw_utilization, row_hit_rate) become the
+     * cycle-weighted mean of the two runs. Used by the batch runtime
+     * to aggregate many requests into fleet-level totals.
+     */
+    RunMetrics &operator+=(const RunMetrics &o);
 };
 
 } // namespace pade

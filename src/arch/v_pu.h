@@ -14,6 +14,7 @@
 #ifndef PADE_ARCH_V_PU_H
 #define PADE_ARCH_V_PU_H
 
+#include <cstdint>
 #include <vector>
 
 #include "arch/arch_config.h"

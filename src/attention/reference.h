@@ -8,6 +8,7 @@
 #ifndef PADE_ATTENTION_REFERENCE_H
 #define PADE_ATTENTION_REFERENCE_H
 
+#include <cstdint>
 #include <span>
 #include <vector>
 

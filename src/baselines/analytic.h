@@ -13,6 +13,10 @@
 #ifndef PADE_BASELINES_ANALYTIC_H
 #define PADE_BASELINES_ANALYTIC_H
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "arch/run_metrics.h"
 
 namespace pade {

@@ -26,6 +26,7 @@
 #ifndef PADE_BASELINES_PREDICTORS_H
 #define PADE_BASELINES_PREDICTORS_H
 
+#include <cstdint>
 #include <functional>
 
 #include "tensor/matrix.h"

@@ -9,6 +9,7 @@
 #ifndef PADE_COMMON_CLI_H
 #define PADE_COMMON_CLI_H
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>

@@ -8,6 +8,7 @@
 #define PADE_COMMON_TABLE_H
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace pade {

@@ -20,6 +20,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <utility>
 
 namespace pade {
 

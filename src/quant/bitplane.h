@@ -19,6 +19,7 @@
 #ifndef PADE_QUANT_BITPLANE_H
 #define PADE_QUANT_BITPLANE_H
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -75,10 +76,10 @@ class BitPlaneSet
     int planeBytes() const { return (cols_ + 7) / 8; }
 
   private:
-    size_t
+    std::size_t
     planeIndex(int row, int r) const
     {
-        return (static_cast<size_t>(row) * bits_ + r) * words_;
+        return (static_cast<std::size_t>(row) * bits_ + r) * words_;
     }
 
     int rows_ = 0;

@@ -9,6 +9,7 @@
 #ifndef PADE_QUANT_MXINT_H
 #define PADE_QUANT_MXINT_H
 
+#include <cstddef>
 #include <vector>
 
 #include "tensor/matrix.h"
@@ -30,7 +31,7 @@ struct MxQuantized
     float
     scaleAt(int row, int group) const
     {
-        return scales[static_cast<size_t>(row) * groupsPerRow() + group];
+        return scales[static_cast<std::size_t>(row) * groupsPerRow() + group];
     }
 };
 

@@ -1,0 +1,88 @@
+#include "runtime/batch_driver.h"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "common/rng.h"
+#include "runtime/thread_pool.h"
+
+namespace pade {
+
+BatchDriver::BatchDriver(BatchOptions opt) : opt_(opt)
+{
+    sim_ = [](const ArchConfig &arch, const SimRequest &req) {
+        return simulatePade(arch, req);
+    };
+}
+
+BatchDriver::BatchDriver(BatchOptions opt, Simulator sim)
+    : opt_(opt), sim_(std::move(sim))
+{
+}
+
+uint64_t
+BatchDriver::seedFor(std::size_t index) const
+{
+    // Derived from (seed_base, index) only — never from scheduling —
+    // so a batch reproduces bit-for-bit under any thread count.
+    uint64_t state = opt_.seed_base +
+        static_cast<uint64_t>(index) * 0x9e3779b97f4a7c15ULL;
+    return splitMix64(state);
+}
+
+BatchResult
+BatchDriver::run(const ArchConfig &arch,
+                 const std::vector<SimRequest> &requests) const
+{
+    std::vector<BatchItem> items;
+    items.reserve(requests.size());
+    for (const SimRequest &req : requests)
+        items.push_back({arch, req});
+    return run(items);
+}
+
+BatchResult
+BatchDriver::run(const std::vector<BatchItem> &items) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    BatchResult out;
+    out.results.resize(items.size());
+    if (!items.empty()) {
+        ThreadPool pool(opt_.threads);
+        parallelFor(pool, static_cast<int>(items.size()), [&](int i) {
+            BatchItem item = items[static_cast<std::size_t>(i)];
+            if (opt_.seed_base != 0)
+                item.req.seed = seedFor(static_cast<std::size_t>(i));
+            RequestResult &slot = out.results[static_cast<std::size_t>(i)];
+            try {
+                slot.outcome = sim_(item.arch, item.req);
+                slot.ok = true;
+            } catch (const std::exception &e) {
+                slot.error = e.what();
+            } catch (...) {
+                slot.error = "unknown exception";
+            }
+        });
+    }
+
+    // Aggregation runs after the barrier, in index order, so the
+    // totals do not depend on worker interleaving.
+    for (const RequestResult &r : out.results) {
+        if (!r.ok) {
+            out.failed++;
+            continue;
+        }
+        out.completed++;
+        out.aggregate += r.outcome.total;
+        if (r.outcome.retained_mass < out.retained_mass_min)
+            out.retained_mass_min = r.outcome.retained_mass;
+    }
+
+    out.wall_ms = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - t0).count();
+    return out;
+}
+
+} // namespace pade

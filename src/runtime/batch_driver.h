@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Batched whole-model simulation runtime: fans a vector of
+ * SimRequests (optionally each with its own ArchConfig, for
+ * design-space sweeps) across a thread pool and aggregates the
+ * outcomes into fleet-level totals.
+ *
+ * Determinism contract: results are index-aligned with the input
+ * batch, per-request seeds are derived only from (seed_base, index),
+ * and aggregation always walks the batch in index order after every
+ * worker has finished — so the aggregate is bit-for-bit identical for
+ * any thread count, including 1.
+ *
+ * Failure contract: an exception thrown while simulating one request
+ * is caught and recorded in that request's result slot; the remaining
+ * requests still run and the pool never deadlocks.
+ */
+
+#ifndef PADE_RUNTIME_BATCH_DRIVER_H
+#define PADE_RUNTIME_BATCH_DRIVER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arch/arch_config.h"
+#include "arch/driver.h"
+
+namespace pade {
+
+/** One unit of batched work: a request plus the design to run it on. */
+struct BatchItem
+{
+    ArchConfig arch;
+    SimRequest req;
+};
+
+/** Knobs of the batch runtime. */
+struct BatchOptions
+{
+    /** Worker threads; 0 picks ThreadPool::hardwareThreads(). */
+    int threads = 0;
+    /**
+     * When nonzero, request i runs with seed splitMix64-derived from
+     * (seed_base, i), overriding SimRequest::seed. Scheduling order
+     * never enters the derivation, so any thread count reproduces the
+     * same batch bit-for-bit.
+     */
+    uint64_t seed_base = 0;
+};
+
+/** Result slot of one request (index-aligned with the batch). */
+struct RequestResult
+{
+    SimOutcome outcome;
+    bool ok = false;
+    std::string error;  //!< exception message when !ok
+};
+
+/** Aggregate of one batch run. */
+struct BatchResult
+{
+    std::vector<RequestResult> results;
+    /** Sum of every successful request's whole-model totals. */
+    RunMetrics aggregate;
+    int completed = 0;
+    int failed = 0;
+    /** Minimum accuracy proxy across successful requests. */
+    double retained_mass_min = 1.0;
+    double wall_ms = 0.0;   //!< host wall-clock of the batch
+};
+
+/**
+ * Fans SimRequests across a worker pool and aggregates outcomes.
+ * The simulator is injectable so tests can exercise the failure path
+ * without constructing a pathological workload.
+ */
+class BatchDriver
+{
+  public:
+    using Simulator =
+        std::function<SimOutcome(const ArchConfig &, const SimRequest &)>;
+
+    explicit BatchDriver(BatchOptions opt = {});
+    BatchDriver(BatchOptions opt, Simulator sim);
+
+    /** Run every request on one shared design. */
+    BatchResult run(const ArchConfig &arch,
+                    const std::vector<SimRequest> &requests) const;
+
+    /** Run a heterogeneous batch (per-item designs; DSE sweeps). */
+    BatchResult run(const std::vector<BatchItem> &items) const;
+
+    /** Seed request i would run with (exposed for tests/logging). */
+    uint64_t seedFor(std::size_t index) const;
+
+  private:
+    BatchOptions opt_;
+    Simulator sim_;
+};
+
+} // namespace pade
+
+#endif // PADE_RUNTIME_BATCH_DRIVER_H

@@ -1,0 +1,166 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <utility>
+
+namespace pade {
+
+int
+ThreadPool::hardwareThreads()
+{
+    return static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int n = threads > 0 ? threads : hardwareThreads();
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    cv_task_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(task));
+    }
+    cv_task_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_idle_.wait(lock,
+                  [this] { return queue_.empty() && active_ == 0; });
+}
+
+bool
+ThreadPool::tryRunOne()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (queue_.empty())
+            return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        active_++;
+    }
+    try {
+        task();
+    } catch (...) {
+        // Same contract as workerLoop: failures surface through the
+        // submitter's own channel.
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        active_--;
+        if (queue_.empty() && active_ == 0)
+            cv_idle_.notify_all();
+    }
+    return true;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_task_.wait(lock,
+                          [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to drain
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            active_++;
+        }
+        try {
+            task();
+        } catch (...) {
+            // Task-level failures are reported through the caller's
+            // own channel (e.g. parallelFor / BatchDriver error
+            // slots); a worker thread must survive regardless.
+        }
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            active_--;
+            if (queue_.empty() && active_ == 0)
+                cv_idle_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(ThreadPool &pool, int n, const std::function<void(int)> &fn)
+{
+    if (n <= 0)
+        return;
+
+    struct State
+    {
+        std::mutex mu;
+        std::condition_variable done;
+        int remaining;
+        std::exception_ptr error;
+    };
+    State st;
+    st.remaining = n;
+
+    for (int i = 0; i < n; i++) {
+        pool.submit([&st, &fn, i] {
+            std::exception_ptr err;
+            try {
+                fn(i);
+            } catch (...) {
+                err = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(st.mu);
+            if (err && !st.error)
+                st.error = err;
+            if (--st.remaining == 0)
+                st.done.notify_all();
+        });
+    }
+
+    // Help drain the queue instead of parking outright: if every
+    // worker is itself blocked in a nested parallelFor, the waiters
+    // collectively keep executing queued tasks, so nested fan-outs
+    // on one pool make progress instead of deadlocking. The short
+    // timed wait re-checks the queue for work enqueued after we
+    // found it empty.
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(st.mu);
+            if (st.remaining == 0)
+                break;
+        }
+        if (pool.tryRunOne())
+            continue;
+        std::unique_lock<std::mutex> lock(st.mu);
+        st.done.wait_for(lock, std::chrono::milliseconds(2),
+                         [&st] { return st.remaining == 0; });
+    }
+    if (st.error)
+        std::rethrow_exception(st.error);
+}
+
+} // namespace pade

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fixed-size worker pool with a shared task queue, used to fan
+ * independent simulations (batch requests, calibration searches,
+ * design-space sweeps) across cores. Tasks are opaque closures; all
+ * ordering guarantees live with the caller, which keeps the pool
+ * trivially exception-safe: a task that throws is caught at the
+ * worker boundary, so one failing request can never wedge the pool.
+ */
+
+#ifndef PADE_RUNTIME_THREAD_POOL_H
+#define PADE_RUNTIME_THREAD_POOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pade {
+
+/** Fixed pool of worker threads draining a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 picks hardwareThreads(). */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threadCount() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Enqueue a task. Exceptions escaping the task are swallowed at
+     * the worker boundary; use parallelFor() when propagation is
+     * needed.
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and every worker is idle. */
+    void waitIdle();
+
+    /**
+     * Pop and run one queued task on the calling thread; false when
+     * the queue is empty. Lets a thread that is blocked on a subset
+     * of tasks (parallelFor) keep the pool productive, which makes
+     * nested parallelFor calls on one pool deadlock-free.
+     */
+    bool tryRunOne();
+
+    /** Detected core count (at least 1). */
+    static int hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::mutex mu_;
+    std::condition_variable cv_task_;
+    std::condition_variable cv_idle_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    int active_ = 0;
+    bool stop_ = false;
+};
+
+/**
+ * Run fn(0..n-1) on the pool and block until all complete. The first
+ * exception thrown by any index is rethrown in the caller once every
+ * task has finished (no task is cancelled, no worker is lost).
+ *
+ * While waiting, the caller helps drain the pool's queue
+ * (ThreadPool::tryRunOne), so parallelFor may be called from inside
+ * a pool task — nested fan-outs on one pool cannot deadlock.
+ */
+void parallelFor(ThreadPool &pool, int n,
+                 const std::function<void(int)> &fn);
+
+} // namespace pade
+
+#endif // PADE_RUNTIME_THREAD_POOL_H

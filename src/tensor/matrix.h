@@ -10,9 +10,12 @@
 #ifndef PADE_TENSOR_MATRIX_H
 #define PADE_TENSOR_MATRIX_H
 
+#include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 namespace pade {
@@ -29,7 +32,7 @@ class Matrix
     /** Construct rows x cols, zero-initialized. */
     Matrix(int rows, int cols)
         : rows_(rows), cols_(cols),
-          data_(static_cast<size_t>(rows) * cols, T{})
+          data_(static_cast<std::size_t>(rows) * cols, T{})
     {
         assert(rows >= 0 && cols >= 0);
     }
@@ -38,26 +41,26 @@ class Matrix
     Matrix(int rows, int cols, std::vector<T> data)
         : rows_(rows), cols_(cols), data_(std::move(data))
     {
-        assert(data_.size() == static_cast<size_t>(rows) * cols);
+        assert(data_.size() == static_cast<std::size_t>(rows) * cols);
     }
 
     int rows() const { return rows_; }
     int cols() const { return cols_; }
-    size_t size() const { return data_.size(); }
+    std::size_t size() const { return data_.size(); }
     bool empty() const { return data_.empty(); }
 
     T &
     at(int r, int c)
     {
         assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-        return data_[static_cast<size_t>(r) * cols_ + c];
+        return data_[static_cast<std::size_t>(r) * cols_ + c];
     }
 
     const T &
     at(int r, int c) const
     {
         assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-        return data_[static_cast<size_t>(r) * cols_ + c];
+        return data_[static_cast<std::size_t>(r) * cols_ + c];
     }
 
     T &operator()(int r, int c) { return at(r, c); }
@@ -68,8 +71,8 @@ class Matrix
     row(int r)
     {
         assert(r >= 0 && r < rows_);
-        return {data_.data() + static_cast<size_t>(r) * cols_,
-                static_cast<size_t>(cols_)};
+        return {data_.data() + static_cast<std::size_t>(r) * cols_,
+                static_cast<std::size_t>(cols_)};
     }
 
     /** Const span over one row. */
@@ -77,8 +80,8 @@ class Matrix
     row(int r) const
     {
         assert(r >= 0 && r < rows_);
-        return {data_.data() + static_cast<size_t>(r) * cols_,
-                static_cast<size_t>(cols_)};
+        return {data_.data() + static_cast<std::size_t>(r) * cols_,
+                static_cast<std::size_t>(cols_)};
     }
 
     T *data() { return data_.data(); }

@@ -23,6 +23,7 @@
 #define PADE_WORKLOAD_GENERATOR_H
 
 #include <cstdint>
+#include <utility>
 
 #include "quant/bitplane.h"
 #include "quant/quantizer.h"

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the batch runtime: thread pool exception safety, and
+ * BatchDriver determinism / edge cases / failure isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/batch_driver.h"
+#include "runtime/thread_pool.h"
+
+namespace pade {
+namespace {
+
+// --------------------------------------------------------------------
+// ThreadPool
+// --------------------------------------------------------------------
+
+TEST(ThreadPool, RunsAllSubmittedTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; i++)
+        pool.submit([&count] { count++; });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(64);
+    parallelFor(pool, 64, [&hits](int i) { hits[i]++; });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ThrowingTaskDoesNotDeadlockOrKillWorkers)
+{
+    ThreadPool pool(2);
+    std::atomic<int> survived{0};
+    EXPECT_THROW(
+        parallelFor(pool, 8,
+                    [](int i) {
+                        if (i % 2 == 0)
+                            throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+    // The pool must still be fully operational afterwards.
+    parallelFor(pool, 16, [&survived](int) { survived++; });
+    EXPECT_EQ(survived.load(), 16);
+}
+
+TEST(ThreadPool, NestedParallelForOnOnePoolDoesNotDeadlock)
+{
+    // With 1 worker, every outer task blocking in an inner
+    // parallelFor would wedge the pool forever if waiters did not
+    // help drain the queue (ThreadPool::tryRunOne).
+    ThreadPool pool(1);
+    std::atomic<int> inner_runs{0};
+    parallelFor(pool, 3, [&pool, &inner_runs](int) {
+        parallelFor(pool, 4, [&inner_runs](int) { inner_runs++; });
+    });
+    EXPECT_EQ(inner_runs.load(), 12);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately)
+{
+    ThreadPool pool(1);
+    pool.waitIdle();
+    parallelFor(pool, 0, [](int) { FAIL(); });
+}
+
+// --------------------------------------------------------------------
+// BatchDriver
+// --------------------------------------------------------------------
+
+SimRequest
+smallRequest(uint64_t seed)
+{
+    SimRequest req{llama2_7b(), dsMmlu()};
+    req.seed = seed;
+    req.max_sim_seq = 256;
+    return req;
+}
+
+std::vector<SimRequest>
+smallBatch(int n)
+{
+    std::vector<SimRequest> reqs;
+    for (int i = 0; i < n; i++)
+        reqs.push_back(smallRequest(100 + static_cast<uint64_t>(i)));
+    return reqs;
+}
+
+void
+expectIdenticalAggregates(const BatchResult &a, const BatchResult &b)
+{
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.aggregate.cycles, b.aggregate.cycles);
+    EXPECT_EQ(a.aggregate.time_ns, b.aggregate.time_ns);
+    EXPECT_EQ(a.aggregate.useful_ops, b.aggregate.useful_ops);
+    EXPECT_EQ(a.aggregate.dram_bytes, b.aggregate.dram_bytes);
+    EXPECT_EQ(a.aggregate.sram_bytes, b.aggregate.sram_bytes);
+    EXPECT_EQ(a.aggregate.utilization, b.aggregate.utilization);
+    EXPECT_EQ(a.aggregate.energy.total(), b.aggregate.energy.total());
+    EXPECT_EQ(a.aggregate.prune.keys_retained,
+              b.aggregate.prune.keys_retained);
+    EXPECT_EQ(a.retained_mass_min, b.retained_mass_min);
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (size_t i = 0; i < a.results.size(); i++) {
+        EXPECT_EQ(a.results[i].ok, b.results[i].ok);
+        EXPECT_EQ(a.results[i].outcome.total.time_ns,
+                  b.results[i].outcome.total.time_ns);
+        EXPECT_EQ(a.results[i].outcome.retained_mass,
+                  b.results[i].outcome.retained_mass);
+    }
+}
+
+TEST(BatchDriver, AggregatesIdenticalAcrossThreadCounts)
+{
+    const std::vector<SimRequest> batch = smallBatch(6);
+    const ArchConfig arch;
+    BatchResult baseline;
+    bool first = true;
+    for (int threads : {1, 2, 8}) {
+        const BatchResult r =
+            BatchDriver(BatchOptions{.threads = threads,
+                                     .seed_base = 7}).run(arch, batch);
+        EXPECT_EQ(r.completed, 6);
+        EXPECT_EQ(r.failed, 0);
+        if (first) {
+            baseline = r;
+            first = false;
+        } else {
+            expectIdenticalAggregates(baseline, r);
+        }
+    }
+}
+
+TEST(BatchDriver, EmptyBatch)
+{
+    const BatchResult r =
+        BatchDriver(BatchOptions{.threads = 4}).run(ArchConfig{}, {});
+    EXPECT_EQ(r.completed, 0);
+    EXPECT_EQ(r.failed, 0);
+    EXPECT_TRUE(r.results.empty());
+    EXPECT_EQ(r.aggregate.cycles, 0.0);
+    EXPECT_EQ(r.aggregate.dram_bytes, 0u);
+}
+
+TEST(BatchDriver, SingleRequestMatchesDirectSimulation)
+{
+    const SimRequest req = smallRequest(5);
+    const ArchConfig arch;
+    const SimOutcome direct = simulatePade(arch, req);
+    const BatchResult r =
+        BatchDriver(BatchOptions{.threads = 4}).run(arch, {req});
+    ASSERT_EQ(r.completed, 1);
+    EXPECT_EQ(r.results[0].outcome.total.time_ns, direct.total.time_ns);
+    EXPECT_EQ(r.results[0].outcome.total.cycles, direct.total.cycles);
+    EXPECT_EQ(r.results[0].outcome.retained_mass, direct.retained_mass);
+    EXPECT_EQ(r.aggregate.time_ns, direct.total.time_ns);
+}
+
+TEST(BatchDriver, SeedBaseOverridesRequestSeedsDeterministically)
+{
+    BatchDriver d(BatchOptions{.threads = 2, .seed_base = 99});
+    EXPECT_EQ(d.seedFor(0), d.seedFor(0));
+    EXPECT_NE(d.seedFor(0), d.seedFor(1));
+    // Two full runs with the same seed_base agree even though the
+    // requests carry different (overridden) seeds.
+    const std::vector<SimRequest> batch = {smallRequest(1),
+                                           smallRequest(2)};
+    const BatchResult a = d.run(ArchConfig{}, batch);
+    const BatchResult b = d.run(ArchConfig{}, batch);
+    expectIdenticalAggregates(a, b);
+}
+
+TEST(BatchDriver, FailingRequestIsIsolated)
+{
+    // Inject a simulator that fails on one index; the rest of the
+    // batch must complete and the pool must not deadlock.
+    std::atomic<int> calls{0};
+    BatchDriver driver(
+        BatchOptions{.threads = 4},
+        [&calls](const ArchConfig &arch, const SimRequest &req) {
+            calls++;
+            if (req.seed == 101)
+                throw std::runtime_error("request exploded");
+            return simulatePade(arch, req);
+        });
+    const BatchResult r = driver.run(ArchConfig{}, smallBatch(4));
+    EXPECT_EQ(calls.load(), 4);
+    EXPECT_EQ(r.completed, 3);
+    EXPECT_EQ(r.failed, 1);
+    EXPECT_FALSE(r.results[1].ok);
+    EXPECT_EQ(r.results[1].error, "request exploded");
+    EXPECT_TRUE(r.results[0].ok);
+    EXPECT_TRUE(r.results[2].ok);
+    EXPECT_TRUE(r.results[3].ok);
+    EXPECT_GT(r.aggregate.time_ns, 0.0);
+}
+
+TEST(BatchDriver, HeterogeneousItemsKeepTheirOwnArch)
+{
+    // Same request under two scoreboard depths: the batch API must
+    // not leak one item's ArchConfig into another.
+    BatchItem deep;
+    deep.req = smallRequest(3);
+    deep.arch.scoreboard_entries = 32;
+    BatchItem shallow = deep;
+    shallow.arch.scoreboard_entries = 2;
+
+    const BatchResult r = BatchDriver(BatchOptions{.threads = 2})
+                              .run({deep, shallow, deep});
+    ASSERT_EQ(r.completed, 3);
+    EXPECT_EQ(r.results[0].outcome.block.cycles,
+              r.results[2].outcome.block.cycles);
+    // A 2-entry scoreboard stalls the lanes; cycle counts must differ.
+    EXPECT_NE(r.results[0].outcome.block.cycles,
+              r.results[1].outcome.block.cycles);
+}
+
+} // namespace
+} // namespace pade
