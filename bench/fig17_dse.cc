@@ -52,6 +52,7 @@ main(int argc, char **argv)
     auto alphaForKeep = [&req](double keep_target) {
         const AttentionHead head = calibrationHead(req, 2048);
         const QuantizedHead qh = quantizeHead(head);
+        PadeWorkspace ws; // reused across the binary-search re-runs
         double lo = 0.0;
         double hi = 1.0;
         for (int i = 0; i < 10; i++) {
@@ -59,7 +60,8 @@ main(int argc, char **argv)
             PadeConfig cfg;
             cfg.alpha = mid;
             cfg.radius = kCalibRadius;
-            if (padeAttention(qh, cfg).stats.keepRate() > keep_target)
+            if (padeAttention(qh, cfg, &ws).stats.keepRate() >
+                keep_target)
                 hi = mid;
             else
                 lo = mid;

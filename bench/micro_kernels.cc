@@ -64,16 +64,61 @@ void
 BM_PlaneDelta(benchmark::State &state)
 {
     const QuantizedHead head = makeHead(1024, 128);
+    const QueryPlanes q(head.q.values.row(0));
     int j = 0;
     for (auto _ : state) {
-        const int64_t d = planeDelta(head.q.values.row(0),
-                                     head.k_planes, j, 0);
+        const int64_t d = planeDelta(q, head.k_planes, j, 0);
         benchmark::DoNotOptimize(d);
         j = (j + 1) % 1024;
     }
     state.SetItemsProcessed(state.iterations() * 128);
 }
 BENCHMARK(BM_PlaneDelta);
+
+void
+BM_PlaneDeltaScalar(benchmark::State &state)
+{
+    const QuantizedHead head = makeHead(1024, 128);
+    int j = 0;
+    for (auto _ : state) {
+        const int64_t d = planeDeltaScalar(head.q.values.row(0),
+                                           head.k_planes, j, 0);
+        benchmark::DoNotOptimize(d);
+        j = (j + 1) % 1024;
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_PlaneDeltaScalar);
+
+void
+BM_ExactDot(benchmark::State &state)
+{
+    const QuantizedHead head = makeHead(1024, 128);
+    const QueryPlanes q(head.q.values.row(0));
+    int j = 0;
+    for (auto _ : state) {
+        const int64_t d = exactDot(q, head.k_planes, j);
+        benchmark::DoNotOptimize(d);
+        j = (j + 1) % 1024;
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_ExactDot);
+
+void
+BM_ExactDotScalar(benchmark::State &state)
+{
+    const QuantizedHead head = makeHead(1024, 128);
+    int j = 0;
+    for (auto _ : state) {
+        const int64_t d = exactDotScalar(head.q.values.row(0),
+                                         head.k_planes, j);
+        benchmark::DoNotOptimize(d);
+        j = (j + 1) % 1024;
+    }
+    state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_ExactDotScalar);
 
 void
 BM_PlaneDeltaBs(benchmark::State &state)
@@ -124,13 +169,31 @@ BM_PadeAttention(benchmark::State &state)
 {
     const int s = static_cast<int>(state.range(0));
     const QuantizedHead head = makeHead(s, 128);
+    PadeWorkspace ws;
     for (auto _ : state) {
-        const PadeResult res = padeAttention(head);
+        const PadeResult res = padeAttention(head, {}, &ws);
         benchmark::DoNotOptimize(res.stats.keys_retained);
     }
     state.SetItemsProcessed(state.iterations() * s * 8);
 }
 BENCHMARK(BM_PadeAttention)->Arg(512)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_PadeAttentionScalarKernel(benchmark::State &state)
+{
+    const int s = static_cast<int>(state.range(0));
+    const QuantizedHead head = makeHead(s, 128);
+    PadeConfig cfg;
+    cfg.qk_kernel = QkKernel::kScalar;
+    PadeWorkspace ws;
+    for (auto _ : state) {
+        const PadeResult res = padeAttention(head, cfg, &ws);
+        benchmark::DoNotOptimize(res.stats.keys_retained);
+    }
+    state.SetItemsProcessed(state.iterations() * s * 8);
+}
+BENCHMARK(BM_PadeAttentionScalarKernel)->Arg(512)->Arg(2048)
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

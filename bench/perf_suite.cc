@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Perf-tracking suite: times the simulator's hot paths and emits a
+ * machine-readable BENCH_perf.json so the performance trajectory is
+ * visible across PRs (CI uploads the file as an artifact).
+ *
+ * Four stages are measured:
+ *  1. QK scoring kernel — word-parallel popcount exactDot versus the
+ *     scalar ctz-walk reference, across {seq, bits} points (the
+ *     algebraic win of plane-vs-plane execution);
+ *  2. full padeAttention under both kernel dispatches, with a reused
+ *     PadeWorkspace (the allocation-free hot path);
+ *  3. reference attention — cache-blocked dense matmul path and the
+ *     tiled flash recurrence (the oracle every figure bench pays for);
+ *  4. a batch-driver sweep across {seq, bits, concentration} points,
+ *     fanned over the thread pool (the fig17-style DSE bottleneck).
+ *
+ * Flags: --quick (CI smoke: fewer/smaller points), --reps=N best-of
+ * repetitions (default 3), --out=FILE (default BENCH_perf.json),
+ * --threads=N sweep workers (default hardware).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attention/reference.h"
+#include "bench/common.h"
+#include "core/pade_attention.h"
+#include "runtime/batch_driver.h"
+#include "workload/generator.h"
+
+using namespace pade;
+using namespace pade::bench;
+
+namespace {
+
+/** Wall-clock milliseconds of fn(), best of @p reps runs. */
+template <typename F>
+double
+bestMs(int reps, F &&fn)
+{
+    double best = 0.0;
+    for (int r = 0; r < reps; r++) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        if (r == 0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+/** Minimal JSON emitter: objects/arrays of already-formatted fields. */
+class Json
+{
+  public:
+    void
+    openObject(const std::string &key = "")
+    {
+        indent(key);
+        out_ += "{\n";
+        depth_++;
+        first_.push_back(true);
+    }
+    void
+    openArray(const std::string &key)
+    {
+        indent(key);
+        out_ += "[\n";
+        depth_++;
+        first_.push_back(true);
+    }
+    void
+    close(bool array = false)
+    {
+        out_ += "\n";
+        depth_--;
+        for (int i = 0; i < depth_; i++)
+            out_ += "  ";
+        out_ += array ? "]" : "}";
+        first_.pop_back();
+        if (!first_.empty())
+            first_.back() = false;
+    }
+    void
+    field(const std::string &key, const std::string &raw)
+    {
+        indent(key);
+        out_ += raw;
+    }
+    void
+    field(const std::string &key, double v)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        field(key, std::string(buf));
+    }
+    void
+    field(const std::string &key, int64_t v)
+    {
+        field(key, std::to_string(v));
+    }
+    void
+    str(const std::string &key, const std::string &v)
+    {
+        field(key, "\"" + v + "\"");
+    }
+
+    const std::string &text() const { return out_; }
+
+  private:
+    void
+    indent(const std::string &key)
+    {
+        if (!first_.empty()) {
+            if (!first_.back())
+                out_ += ",\n";
+            first_.back() = false;
+        }
+        for (int i = 0; i < depth_; i++)
+            out_ += "  ";
+        if (!key.empty())
+            out_ += "\"" + key + "\": ";
+    }
+
+    std::string out_;
+    std::vector<bool> first_;
+    int depth_ = 0;
+};
+
+QuantizedHead
+makeHead(int seq, int bits, int queries = 8, uint64_t seed = 42)
+{
+    WorkloadSpec spec;
+    spec.seq_len = seq;
+    spec.query_len = queries;
+    spec.head_dim = 128;
+    spec.seed = seed;
+    return quantizeHead(generateHead(spec), bits);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli(argc, argv);
+    const bool quick = cli.getBool("quick");
+    const int reps = static_cast<int>(cli.getInt("reps", quick ? 2 : 3));
+    const std::string out_path = cli.get("out", "BENCH_perf.json");
+    const int sweep_threads = static_cast<int>(
+        cli.getInt("threads", ThreadPool::hardwareThreads()));
+
+    banner(std::string("PADE perf suite (") +
+           (quick ? "quick" : "full") + ", best of " +
+           std::to_string(reps) + ")");
+
+    Json json;
+    json.openObject();
+    json.str("schema", "pade-perf-v1");
+    json.field("quick", std::string(quick ? "true" : "false"));
+    json.field("reps", static_cast<int64_t>(reps));
+    json.field("hardware_threads",
+               static_cast<int64_t>(ThreadPool::hardwareThreads()));
+    int64_t checksum = 0; // defeats dead-code elimination; recorded
+
+    // ------------------------------------------------------------------
+    // 1. QK scoring kernel: popcount vs scalar exactDot over all
+    //    (query, key) pairs.
+    // ------------------------------------------------------------------
+    std::printf("\n[1/4] QK scoring kernel (exactDot over all pairs)\n");
+    Table t1;
+    t1.header({"seq", "bits", "scalar ns/pair", "popcount ns/pair",
+               "speedup"});
+    json.openArray("qk_kernel");
+
+    std::vector<std::pair<int, int>> qk_points;
+    for (int seq : quick ? std::vector<int>{1024, 4096}
+                         : std::vector<int>{1024, 4096, 16384})
+        for (int bits : quick ? std::vector<int>{8}
+                              : std::vector<int>{4, 8})
+            qk_points.emplace_back(seq, bits);
+
+    for (auto [seq, bits] : qk_points) {
+        const QuantizedHead head = makeHead(seq, bits);
+        const int p = head.q.values.rows();
+        const double pairs = static_cast<double>(p) * seq;
+
+        const double scalar_ms = bestMs(reps, [&] {
+            for (int i = 0; i < p; i++) {
+                auto q = head.q.values.row(i);
+                for (int j = 0; j < seq; j++)
+                    checksum += exactDotScalar(q, head.k_planes, j);
+            }
+        });
+        QueryPlanes qp;
+        const double pop_ms = bestMs(reps, [&] {
+            for (int i = 0; i < p; i++) {
+                qp.assign(head.q.values.row(i));
+                for (int j = 0; j < seq; j++)
+                    checksum += exactDot(qp, head.k_planes, j);
+            }
+        });
+        const double speedup = scalar_ms / pop_ms;
+        t1.row({std::to_string(seq), std::to_string(bits),
+                Table::num(scalar_ms * 1e6 / pairs, 1),
+                Table::num(pop_ms * 1e6 / pairs, 1),
+                Table::num(speedup, 2)});
+        json.openObject();
+        json.field("seq", static_cast<int64_t>(seq));
+        json.field("bits", static_cast<int64_t>(bits));
+        json.field("head_dim", static_cast<int64_t>(128));
+        json.field("scalar_ns_per_pair", scalar_ms * 1e6 / pairs);
+        json.field("popcount_ns_per_pair", pop_ms * 1e6 / pairs);
+        json.field("speedup", speedup);
+        json.close();
+    }
+    json.close(true);
+    t1.print();
+
+    // ------------------------------------------------------------------
+    // 2. Full padeAttention under both dispatches, reused workspace.
+    // ------------------------------------------------------------------
+    std::printf("\n[2/4] padeAttention (guarded, workspace reuse)\n");
+    Table t2;
+    t2.header({"seq", "scalar ms", "popcount ms", "speedup",
+               "keep rate"});
+    json.openArray("pade_attention");
+    for (int seq : quick ? std::vector<int>{1024}
+                         : std::vector<int>{1024, 4096}) {
+        const QuantizedHead head = makeHead(seq, 8);
+        PadeWorkspace ws;
+        PadeConfig scalar_cfg;
+        scalar_cfg.qk_kernel = QkKernel::kScalar;
+        double keep = 0.0;
+        const double scalar_ms = bestMs(reps, [&] {
+            const PadeResult res = padeAttention(head, scalar_cfg, &ws);
+            checksum += static_cast<int64_t>(res.stats.keys_retained);
+        });
+        const double pop_ms = bestMs(reps, [&] {
+            const PadeResult res = padeAttention(head, {}, &ws);
+            checksum += static_cast<int64_t>(res.stats.keys_retained);
+            keep = res.stats.keepRate();
+        });
+        t2.row({std::to_string(seq), Table::num(scalar_ms, 2),
+                Table::num(pop_ms, 2),
+                Table::num(scalar_ms / pop_ms, 2),
+                Table::num(keep, 3)});
+        json.openObject();
+        json.field("seq", static_cast<int64_t>(seq));
+        json.field("bits", static_cast<int64_t>(8));
+        json.field("scalar_ms", scalar_ms);
+        json.field("popcount_ms", pop_ms);
+        json.field("speedup", scalar_ms / pop_ms);
+        json.field("keep_rate", keep);
+        json.close();
+    }
+    json.close(true);
+    t2.print();
+
+    // ------------------------------------------------------------------
+    // 3. Reference attention (cache-blocked matmul path + flash).
+    // ------------------------------------------------------------------
+    std::printf("\n[3/4] reference attention (oracle path)\n");
+    Table t3;
+    t3.header({"seq", "queries", "dense ms", "flash ms"});
+    json.openArray("reference");
+    for (int seq : quick ? std::vector<int>{1024}
+                         : std::vector<int>{1024, 2048}) {
+        WorkloadSpec spec;
+        spec.seq_len = seq;
+        spec.query_len = 256;
+        spec.head_dim = 128;
+        const AttentionHead head = generateHead(spec);
+        const double dense_ms = bestMs(reps, [&] {
+            const MatrixF o = denseAttention(head.q, head.k, head.v,
+                                             head.scale);
+            checksum += static_cast<int64_t>(o.at(0, 0) * 1e3);
+        });
+        const double flash_ms = bestMs(reps, [&] {
+            const MatrixF o = flashAttention(head.q, head.k, head.v,
+                                             head.scale, 64);
+            checksum += static_cast<int64_t>(o.at(0, 0) * 1e3);
+        });
+        t3.row({std::to_string(seq), "256", Table::num(dense_ms, 2),
+                Table::num(flash_ms, 2)});
+        json.openObject();
+        json.field("seq", static_cast<int64_t>(seq));
+        json.field("queries", static_cast<int64_t>(256));
+        json.field("dense_ms", dense_ms);
+        json.field("flash_ms", flash_ms);
+        json.close();
+    }
+    json.close(true);
+    t3.print();
+
+    // ------------------------------------------------------------------
+    // 4. Batch-driver sweep across {seq, bits, concentration}.
+    // ------------------------------------------------------------------
+    std::printf("\n[4/4] batch-driver sweep (%d workers)\n",
+                sweep_threads);
+    std::vector<BatchItem> sweep;
+    for (int seq : quick ? std::vector<int>{2048}
+                         : std::vector<int>{2048, 8192})
+        for (int bits : {8, 4})
+            for (double conc : {0.75, 1.25}) {
+                BatchItem item;
+                item.req.model = llama2_7b();
+                item.req.model.concentration = conc;
+                item.req.dataset = dsWikitext2();
+                item.req.dataset.seq_len = seq;
+                item.req.bits = bits;
+                item.req.max_sim_seq = 2048;
+                sweep.push_back(item);
+            }
+    const BatchDriver driver(BatchOptions{.threads = sweep_threads,
+                                          .seed_base = 7});
+    const double sweep_ms = bestMs(1, [&] {
+        const BatchResult res = driver.run(sweep);
+        checksum += res.completed;
+        if (res.failed > 0)
+            std::fprintf(stderr, "sweep: %d requests failed\n",
+                         res.failed);
+    });
+    std::printf("%zu requests in %.1f ms\n", sweep.size(), sweep_ms);
+    json.openObject("batch_sweep");
+    json.field("requests", static_cast<int64_t>(sweep.size()));
+    json.field("threads", static_cast<int64_t>(sweep_threads));
+    json.field("wall_ms", sweep_ms);
+    json.close();
+
+    json.field("checksum", checksum);
+    json.close();
+
+    FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "%s\n", json.text().c_str());
+    std::fclose(f);
+    std::printf("\nwrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -153,11 +153,15 @@ calibrateAlpha(const SimRequest &req, double target_mass)
     const QuantizedHead qh = quantizeHead(head, req.bits);
     const MatrixF logits = attentionLogits(head.q, head.k, head.scale);
 
+    // The binary search re-runs the functional algorithm ~12 times on
+    // the same head: one workspace keeps those re-runs allocation-free
+    // on the per-query path.
+    PadeWorkspace ws;
     auto massAt = [&](double alpha) {
         PadeConfig algo;
         algo.alpha = alpha;
         algo.radius = req.radius;
-        const PadeResult fn = padeAttention(qh, algo);
+        const PadeResult fn = padeAttention(qh, algo, &ws);
         return retainedMass(logits, fn.keep);
     };
 

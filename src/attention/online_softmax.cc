@@ -13,17 +13,19 @@ OnlineSoftmaxRow::OnlineSoftmaxRow(int dim)
 }
 
 void
-OnlineSoftmaxRow::update(std::span<const float> scores,
-                         const std::vector<std::span<const float>> &values)
+OnlineSoftmaxRow::reset(int dim)
 {
-    assert(scores.size() == values.size());
-    if (scores.empty())
-        return;
+    dim_ = dim;
+    m_ = -std::numeric_limits<float>::infinity();
+    l_ = 0.0f;
+    acc_.assign(static_cast<size_t>(dim), 0.0f);
+    max_updates_ = 0;
+    rescale_ops_ = 0;
+}
 
-    float tile_max = scores[0];
-    for (float s : scores)
-        tile_max = std::max(tile_max, s);
-
+void
+OnlineSoftmaxRow::absorbMax(float tile_max)
+{
     const float new_m = std::max(m_, tile_max);
     if (new_m > m_ && l_ > 0.0f) {
         // Rescale the accumulator: one subtraction + exp, then a
@@ -39,15 +41,67 @@ OnlineSoftmaxRow::update(std::span<const float> scores,
             -std::numeric_limits<float>::infinity()) ? 1 : 0;
     }
     m_ = new_m;
+}
 
-    for (size_t t = 0; t < scores.size(); t++) {
-        const float p = std::exp(scores[t] - m_);
-        l_ += p;
-        auto vrow = values[t];
-        assert(static_cast<int>(vrow.size()) == dim_);
-        for (int d = 0; d < dim_; d++)
-            acc_[d] += p * vrow[d];
-    }
+void
+OnlineSoftmaxRow::accumulate(float score, std::span<const float> vrow)
+{
+    assert(static_cast<int>(vrow.size()) == dim_);
+    const float p = std::exp(score - m_);
+    l_ += p;
+    for (int d = 0; d < dim_; d++)
+        acc_[d] += p * vrow[d];
+}
+
+void
+OnlineSoftmaxRow::update(std::span<const float> scores,
+                         const std::vector<std::span<const float>> &values)
+{
+    assert(scores.size() == values.size());
+    if (scores.empty())
+        return;
+
+    float tile_max = scores[0];
+    for (float s : scores)
+        tile_max = std::max(tile_max, s);
+    absorbMax(tile_max);
+
+    for (size_t t = 0; t < scores.size(); t++)
+        accumulate(scores[t], values[t]);
+}
+
+void
+OnlineSoftmaxRow::update(std::span<const float> scores,
+                         const MatrixF &values, std::span<const int> ids)
+{
+    assert(scores.size() == ids.size());
+    if (scores.empty())
+        return;
+
+    float tile_max = scores[0];
+    for (float s : scores)
+        tile_max = std::max(tile_max, s);
+    absorbMax(tile_max);
+
+    for (size_t t = 0; t < scores.size(); t++)
+        accumulate(scores[t], values.row(ids[t]));
+}
+
+void
+OnlineSoftmaxRow::update(std::span<const float> scores,
+                         const MatrixF &values, int first_row)
+{
+    if (scores.empty())
+        return;
+
+    float tile_max = scores[0];
+    for (float s : scores)
+        tile_max = std::max(tile_max, s);
+    absorbMax(tile_max);
+
+    for (size_t t = 0; t < scores.size(); t++)
+        accumulate(scores[t],
+                   values.row(first_row + static_cast<int>(t)));
 }
 
 std::vector<float>
@@ -60,6 +114,19 @@ OnlineSoftmaxRow::finalize() const
     return out;
 }
 
+void
+OnlineSoftmaxRow::finalizeInto(std::span<float> out) const
+{
+    assert(static_cast<int>(out.size()) == dim_);
+    if (l_ > 0.0f) {
+        for (int d = 0; d < dim_; d++)
+            out[d] = acc_[d] / l_;
+    } else {
+        for (int d = 0; d < dim_; d++)
+            out[d] = acc_[d];
+    }
+}
+
 MatrixF
 flashAttention(const MatrixF &q, const MatrixF &k, const MatrixF &v,
                float scale, int tile_size)
@@ -67,26 +134,25 @@ flashAttention(const MatrixF &q, const MatrixF &k, const MatrixF &v,
     assert(tile_size > 0 && k.rows() == v.rows());
     MatrixF out(q.rows(), v.cols());
 
+    OnlineSoftmaxRow acc(v.cols());
+    std::vector<float> scores(static_cast<size_t>(tile_size));
     for (int i = 0; i < q.rows(); i++) {
-        OnlineSoftmaxRow acc(v.cols());
+        acc.reset(v.cols());
         auto qrow = q.row(i);
         for (int base = 0; base < k.rows(); base += tile_size) {
             const int hi = std::min(k.rows(), base + tile_size);
-            std::vector<float> scores;
-            std::vector<std::span<const float>> vals;
             for (int j = base; j < hi; j++) {
                 float s = 0.0f;
                 auto krow = k.row(j);
                 for (int d = 0; d < k.cols(); d++)
                     s += qrow[d] * krow[d];
-                scores.push_back(s * scale);
-                vals.push_back(v.row(j));
+                scores[static_cast<size_t>(j - base)] = s * scale;
             }
-            acc.update(scores, vals);
+            acc.update(std::span<const float>(scores)
+                           .first(static_cast<size_t>(hi - base)),
+                       v, base);
         }
-        auto rowv = acc.finalize();
-        for (int d = 0; d < v.cols(); d++)
-            out.at(i, d) = rowv[d];
+        acc.finalizeInto(out.row(i));
     }
     return out;
 }

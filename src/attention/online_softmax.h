@@ -30,6 +30,14 @@ class OnlineSoftmaxRow
     explicit OnlineSoftmaxRow(int dim);
 
     /**
+     * Re-arm for a new query row of dimensionality @p dim. Reuses the
+     * accumulator storage, so resetting is allocation-free once the
+     * capacity has been reached (the workspace-reuse contract of
+     * padeAttention).
+     */
+    void reset(int dim);
+
+    /**
      * Fold in one tile of scores and their value rows.
      *
      * @param scores logits of this tile (already scaled)
@@ -38,8 +46,27 @@ class OnlineSoftmaxRow
     void update(std::span<const float> scores,
                 const std::vector<std::span<const float>> &values);
 
+    /**
+     * Allocation-free tile update: scores[t] pairs with row ids[t] of
+     * @p values. This is the form the fused ISTA hot path uses — the
+     * caller passes its retained-id list directly instead of
+     * materializing a vector of row spans per tile.
+     */
+    void update(std::span<const float> scores, const MatrixF &values,
+                std::span<const int> ids);
+
+    /**
+     * Allocation-free tile update over contiguous value rows:
+     * scores[t] pairs with row first_row + t.
+     */
+    void update(std::span<const float> scores, const MatrixF &values,
+                int first_row);
+
     /** Finalize: O / l. Valid once at least one score arrived. */
     std::vector<float> finalize() const;
+
+    /** Allocation-free finalize into @p out (size must equal dim). */
+    void finalizeInto(std::span<float> out) const;
 
     /** Number of tiles whose arrival grew the running max. */
     uint64_t maxUpdates() const { return max_updates_; }
@@ -51,6 +78,11 @@ class OnlineSoftmaxRow
     float denominator() const { return l_; }
 
   private:
+    /** Grow the running max to cover @p tile_max, rescaling O and l. */
+    void absorbMax(float tile_max);
+    /** Fold one exp-weighted value row into the accumulator. */
+    void accumulate(float score, std::span<const float> vrow);
+
     int dim_;
     float m_;
     float l_ = 0.0f;

@@ -57,16 +57,30 @@ PlaneWork planeWork(const BitPlaneSet &keys, int key, int plane,
 
 /**
  * Numeric contribution of plane @p plane of key @p key to Q.K:
- * weight(plane) * sum_{bit=1} q. Computed in 1-mode (ones accumulation).
+ * weight(plane) * sum_{bit=1} q. Word-parallel form: the query is
+ * bit-plane-packed too, so the per-plane sum reduces to weighted
+ * popcount(qplane AND kplane) over the packed 64-bit words — the
+ * kernel the simulator's hot path dispatches to by default
+ * (QkKernel::kPopcount). Bit-identical to planeDeltaScalar().
  */
-int64_t planeDelta(std::span<const int8_t> q, const BitPlaneSet &keys,
+int64_t planeDelta(const QueryPlanes &q, const BitPlaneSet &keys,
                    int key, int plane);
+
+/**
+ * Scalar reference implementation of planeDelta(): walks every set key
+ * bit with ctz and accumulates q elements one by one (1-mode). Kept as
+ * the exactness oracle and selectable via QkKernel::kScalar.
+ */
+int64_t planeDeltaScalar(std::span<const int8_t> q,
+                         const BitPlaneSet &keys, int key, int plane);
 
 /**
  * Same value computed the bidirectional way: per sub-group, accumulate
  * the rarer bit value and correct with the sub-group Qsum (Eq. 6).
  * Exists to prove numeric equivalence of the hardware trick; returns
- * bit-identical results to planeDelta().
+ * bit-identical results to planeDelta(). The mode decision is made
+ * word-parallel (popcount of the packed sub-group bits) and only the
+ * rarer side's elements are ever touched. @p subgroup must be <= 64.
  */
 int64_t planeDeltaBs(std::span<const int8_t> q, const BitPlaneSet &keys,
                      int key, int plane, int subgroup = 8);

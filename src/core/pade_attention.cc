@@ -2,10 +2,9 @@
 
 #include <cassert>
 
-#include "attention/online_softmax.h"
-#include "core/bit_serial.h"
 #include "core/bui.h"
 #include "core/guard_filter.h"
+#include "runtime/thread_pool.h"
 
 namespace pade {
 
@@ -35,12 +34,17 @@ istaScanOrder(int seq_len, int tile, bool head_tail)
 }
 
 PadeResult
-padeAttention(const QuantizedHead &head, const PadeConfig &cfg)
+padeAttention(const QuantizedHead &head, const PadeConfig &cfg,
+              PadeWorkspace *ws_in)
 {
     const int p = head.q.values.rows();
     const int s = head.k.values.rows();
     const int h = head.v.values.cols();
     const int bits = head.k_planes.numPlanes();
+    const bool popcount_qk = cfg.qk_kernel == QkKernel::kPopcount;
+
+    PadeWorkspace local_ws;
+    PadeWorkspace &ws = ws_in ? *ws_in : local_ws;
 
     PadeResult res;
     res.out = MatrixF(p, h);
@@ -51,25 +55,31 @@ padeAttention(const QuantizedHead &head, const PadeConfig &cfg)
     const std::vector<int> order = istaScanOrder(s, cfg.tile_bc,
                                                  cfg.head_tail);
 
-    // Per-(key, plane) work counts are query-independent; cache them
-    // lazily the first time a plane is consumed by any row.
-    std::vector<PlaneWork> work_cache(
-        static_cast<size_t>(s) * bits);
-    std::vector<uint8_t> work_ready(static_cast<size_t>(s) * bits, 0);
-    auto workFor = [&](int key, int r) -> const PlaneWork & {
-        const size_t idx = static_cast<size_t>(key) * bits + r;
-        if (!work_ready[idx]) {
-            work_cache[idx] = planeWork(head.k_planes, key, r,
-                                        cfg.subgroup, cfg.muxes);
-            work_ready[idx] = 1;
-        }
-        return work_cache[idx];
+    // Per-(key, plane) work counts are query-independent: build the
+    // whole table eagerly (one pass over the packed planes, parallel
+    // across keys when the workspace carries a pool) so the per-query
+    // loop below is a pure table lookup.
+    ws.plane_work.resize(static_cast<size_t>(s) * bits);
+    auto workRowFor = [&](int key) {
+        for (int r = 0; r < bits; r++)
+            ws.plane_work[static_cast<size_t>(key) * bits + r] =
+                planeWork(head.k_planes, key, r, cfg.subgroup,
+                          cfg.muxes);
     };
+    if (ws.pool && ws.pool->threadCount() > 1) {
+        parallelFor(*ws.pool, s, workRowFor);
+    } else {
+        for (int key = 0; key < s; key++)
+            workRowFor(key);
+    }
 
     const MatrixF vf = dequantize(head.v);
 
+    ws.tile_scores.resize(static_cast<size_t>(cfg.tile_bc));
     for (int i = 0; i < p; i++) {
         auto q = head.q.values.row(i);
+        if (popcount_qk)
+            ws.qplanes.assign(q);
         const BuiTable bui = computeBuiTable(q, bits);
         GuardFilter guard(cfg.alpha, cfg.radius, head.logit_scale);
 
@@ -77,7 +87,7 @@ padeAttention(const QuantizedHead &head, const PadeConfig &cfg)
         // occupy the last p positions of the key sequence.
         const int qpos = s - p + i;
 
-        std::vector<int64_t> retained_scores;
+        ws.retained_scores.clear();
         for (int j : order) {
             if (cfg.causal && j > qpos)
                 continue;
@@ -87,11 +97,14 @@ padeAttention(const QuantizedHead &head, const PadeConfig &cfg)
             int64_t score = 0;
             bool pruned = false;
             for (int r = 0; r < bits; r++) {
-                score += planeDelta(q, head.k_planes, j, r);
+                score += popcount_qk
+                    ? planeDelta(ws.qplanes, head.k_planes, j, r)
+                    : planeDeltaScalar(q, head.k_planes, j, r);
                 res.planes.at(i, j) = static_cast<uint8_t>(r + 1);
                 res.stats.planes_processed++;
 
-                const PlaneWork &w = workFor(j, r);
+                const PlaneWork &w =
+                    ws.plane_work[static_cast<size_t>(j) * bits + r];
                 res.stats.ops_bs += w.selected_bs;
                 res.stats.ops_naive += w.selected_naive;
 
@@ -106,34 +119,31 @@ padeAttention(const QuantizedHead &head, const PadeConfig &cfg)
                 res.keep.at(i, j) = 1;
                 res.stats.keys_retained++;
                 res.retained[i].push_back(j);
-                retained_scores.push_back(score);
+                ws.retained_scores.push_back(score);
             }
         }
         res.stats.threshold_updates += guard.updates();
 
         // ISTA value stage: online softmax over retained keys, tiled
         // by Bc in retained (scan) order. Retained scores are exact.
-        OnlineSoftmaxRow acc(h);
-        const auto &ids = res.retained[i];
+        // All buffers live in the workspace — no per-query allocation.
+        ws.softmax.reset(h);
+        const std::span<const int> ids(res.retained[i]);
         for (size_t base = 0; base < ids.size();
              base += static_cast<size_t>(cfg.tile_bc)) {
             const size_t hi = std::min(
                 ids.size(), base + static_cast<size_t>(cfg.tile_bc));
-            std::vector<float> scores;
-            std::vector<std::span<const float>> vals;
-            for (size_t t = base; t < hi; t++) {
-                scores.push_back(head.logit_scale *
-                                 static_cast<float>(retained_scores[t]));
-                vals.push_back(vf.row(ids[t]));
-            }
-            acc.update(scores, vals);
+            const size_t n = hi - base;
+            for (size_t t = 0; t < n; t++)
+                ws.tile_scores[t] = head.logit_scale *
+                    static_cast<float>(ws.retained_scores[base + t]);
+            ws.softmax.update(
+                std::span<const float>(ws.tile_scores).first(n), vf,
+                ids.subspan(base, n));
         }
-        res.stats.max_updates += acc.maxUpdates();
-        res.stats.rescale_ops += acc.rescaleOps();
-
-        const std::vector<float> row = acc.finalize();
-        for (int d = 0; d < h; d++)
-            res.out.at(i, d) = row[d];
+        res.stats.max_updates += ws.softmax.maxUpdates();
+        res.stats.rescale_ops += ws.softmax.rescaleOps();
+        ws.softmax.finalizeInto(res.out.row(i));
     }
     return res;
 }

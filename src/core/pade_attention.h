@@ -19,10 +19,28 @@
 #include <cstdint>
 #include <vector>
 
+#include "attention/online_softmax.h"
+#include "core/bit_serial.h"
 #include "tensor/matrix.h"
 #include "workload/generator.h"
 
 namespace pade {
+
+class ThreadPool;
+
+/**
+ * QK scoring kernel selection. Both kernels compute the identical
+ * integer plane deltas — kPopcount reduces each (key, plane) issue to
+ * weighted popcount(qplane AND kplane) over packed 64-bit words, while
+ * kScalar walks every set key bit (the original bit-serial-faithful
+ * reference). Outputs and statistics are bit-identical; only wall
+ * clock differs.
+ */
+enum class QkKernel
+{
+    kPopcount, //!< word-parallel weighted-popcount kernel (default)
+    kScalar,   //!< per-set-bit scalar reference
+};
 
 /** Algorithm configuration (paper defaults). */
 struct PadeConfig
@@ -36,6 +54,32 @@ struct PadeConfig
                                //!< query_len positions)
     int subgroup = 8;          //!< GSAT sub-group size
     int muxes = 4;             //!< GSAT muxes per sub-group
+    QkKernel qk_kernel = QkKernel::kPopcount; //!< QK scoring kernel
+};
+
+/**
+ * Reusable scratch state of padeAttention. The per-query hot path is
+ * allocation-free: every buffer it needs lives here and is resized
+ * (never shrunk) once per call, so a caller that runs many heads —
+ * the batch driver, calibration searches, the figure sweeps — passes
+ * one workspace per worker thread and stops paying per-head/per-query
+ * allocation churn. Default-constructed state is valid; padeAttention
+ * creates a transient one when the caller passes none.
+ */
+struct PadeWorkspace
+{
+    /**
+     * Optional pool for the up-front (key, plane) PlaneWork table;
+     * the table is query-independent, embarrassingly parallel, and
+     * computed eagerly once per head. Null computes it serially.
+     */
+    ThreadPool *pool = nullptr;
+
+    QueryPlanes qplanes;             //!< packed current query row
+    std::vector<PlaneWork> plane_work; //!< (key, plane) work table
+    std::vector<int64_t> retained_scores; //!< exact retained scores
+    std::vector<float> tile_scores; //!< ISTA tile logits
+    OnlineSoftmaxRow softmax{0};    //!< value-stage accumulator
 };
 
 /** Aggregate pruning / work statistics of one head execution. */
@@ -97,9 +141,14 @@ std::vector<int> istaScanOrder(int seq_len, int tile, bool head_tail);
  * Exactness contract: keys that survive all bit planes have exact
  * integer scores (the uncertainty interval collapses at the LSB), so
  * the output equals masked INT8 attention under the final keep mask.
+ *
+ * @param ws optional reusable workspace (see PadeWorkspace); pass one
+ *        per worker thread to make repeated calls allocation-free on
+ *        the per-query path.
  */
 PadeResult padeAttention(const QuantizedHead &head,
-                         const PadeConfig &cfg = {});
+                         const PadeConfig &cfg = {},
+                         PadeWorkspace *ws = nullptr);
 
 } // namespace pade
 

@@ -1,5 +1,7 @@
 #include "quant/bitplane.h"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "common/math_util.h"
@@ -86,9 +88,91 @@ BitPlaneSet::reconstruct(int row, int col, int r) const
     return v;
 }
 
+QueryPlanes::QueryPlanes(std::span<const int8_t> q, int bits)
+{
+    assign(q, bits);
+}
+
+void
+QueryPlanes::assign(std::span<const int8_t> q, int bits)
+{
+    cols_ = static_cast<int>(q.size());
+    words_ = (cols_ + 63) / 64;
+
+    if (bits == 0) {
+        // Minimal two's-complement width covering the value range:
+        // v in [-2^{b-1}, 2^{b-1} - 1].
+        int lo = 0;
+        int hi = 0;
+        for (int8_t v : q) {
+            lo = std::min<int>(lo, v);
+            hi = std::max<int>(hi, v);
+        }
+        bits = 1;
+        while (lo < -(1 << (bits - 1)) || hi > (1 << (bits - 1)) - 1)
+            bits++;
+    }
+    assert(bits >= 1 && bits <= 8);
+    bits_ = bits;
+
+    storage_.assign(static_cast<std::size_t>(bits_) * words_, 0);
+    for (int col = 0; col < cols_; col++) {
+        const uint8_t u = static_cast<uint8_t>(q[col]) &
+            static_cast<uint8_t>((1u << bits_) - 1);
+        for (int t = 0; t < bits_; t++) {
+            if ((u >> (bits_ - 1 - t)) & 1u)
+                storage_[static_cast<std::size_t>(t) * words_ +
+                         col / 64] |= 1ULL << (col % 64);
+        }
+    }
+}
+
+int
+QueryPlanes::planeWeight(int t) const
+{
+    assert(t >= 0 && t < bits_);
+    if (t == 0)
+        return -(1 << (bits_ - 1));
+    return 1 << (bits_ - 1 - t);
+}
+
+bool
+QueryPlanes::bit(int t, int col) const
+{
+    assert(col >= 0 && col < cols_);
+    return (storage_[static_cast<std::size_t>(t) * words_ + col / 64] >>
+            (col % 64)) & 1ULL;
+}
+
+std::span<const uint64_t>
+QueryPlanes::plane(int t) const
+{
+    assert(t >= 0 && t < bits_);
+    return {storage_.data() + static_cast<std::size_t>(t) * words_,
+            static_cast<std::size_t>(words_)};
+}
+
 int64_t
 partialDot(std::span<const int8_t> q, const BitPlaneSet &keys, int row,
            int r)
+{
+    return partialDot(QueryPlanes(q), keys, row, r);
+}
+
+int64_t
+partialDot(const QueryPlanes &q, const BitPlaneSet &keys, int row, int r)
+{
+    assert(q.numCols() == keys.numCols());
+    int64_t total = 0;
+    for (int p = 0; p <= r; p++)
+        total += static_cast<int64_t>(keys.planeWeight(p)) *
+            q.maskedSum(keys.plane(row, p));
+    return total;
+}
+
+int64_t
+partialDotScalar(std::span<const int8_t> q, const BitPlaneSet &keys,
+                 int row, int r)
 {
     assert(static_cast<int>(q.size()) == keys.numCols());
     int64_t total = 0;
@@ -112,6 +196,19 @@ int64_t
 exactDot(std::span<const int8_t> q, const BitPlaneSet &keys, int row)
 {
     return partialDot(q, keys, row, keys.numPlanes() - 1);
+}
+
+int64_t
+exactDot(const QueryPlanes &q, const BitPlaneSet &keys, int row)
+{
+    return partialDot(q, keys, row, keys.numPlanes() - 1);
+}
+
+int64_t
+exactDotScalar(std::span<const int8_t> q, const BitPlaneSet &keys,
+               int row)
+{
+    return partialDotScalar(q, keys, row, keys.numPlanes() - 1);
 }
 
 } // namespace pade

@@ -19,6 +19,8 @@
 #ifndef PADE_QUANT_BITPLANE_H
 #define PADE_QUANT_BITPLANE_H
 
+#include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -91,16 +93,142 @@ class BitPlaneSet
 };
 
 /**
+ * Bit-plane decomposition of a single query row, the Q-side dual of
+ * BitPlaneSet.
+ *
+ * The per-plane sum the bit-serial kernels need,
+ *   sum_{d : k_d = 1} q_d,
+ * becomes word-parallel once the query is also plane-packed: with
+ * q_d = sum_t qw_t * qbit_t(d) (two's complement over the query
+ * planes), the sum equals
+ *   sum_t qw_t * popcount(qplane_t AND kplane),
+ * i.e. a handful of 64-bit AND+popcount operations instead of a walk
+ * over every set key bit. The arithmetic is exact, so results are
+ * bit-identical to the scalar accumulation.
+ *
+ * assign() reuses the packed storage, making repacking (once per query
+ * row) allocation-free after the first call; it also narrows to the
+ * minimal bit-width covering the row's value range, so e.g. INT4-range
+ * queries cost 4 plane ANDs instead of 8.
+ */
+class QueryPlanes
+{
+  public:
+    QueryPlanes() = default;
+
+    /** Pack @p q; bits = 0 selects the minimal covering width. */
+    explicit QueryPlanes(std::span<const int8_t> q, int bits = 0);
+
+    /** Re-pack into the existing storage (no allocation on reuse). */
+    void assign(std::span<const int8_t> q, int bits = 0);
+
+    int numCols() const { return cols_; }
+    int numPlanes() const { return bits_; }
+    int wordsPerPlane() const { return words_; }
+
+    /** Signed weight of plane @p t: -2^{b-1} for t=0, else 2^{b-1-t}. */
+    int planeWeight(int t) const;
+
+    /** Bit of element @p col on plane @p t (tests/debugging). */
+    bool bit(int t, int col) const;
+
+    /** Packed words of plane @p t. */
+    std::span<const uint64_t> plane(int t) const;
+
+    /**
+     * Word-parallel sum of the query values selected by a key bit
+     * mask: sum_{d : mask_d = 1} q_d. This is the primitive every
+     * bit-serial plane delta reduces to; the mask is one packed key
+     * plane. Weights are powers of two, so the per-plane popcounts
+     * combine with shifts — no multiplies on the hot path.
+     */
+    int64_t
+    maskedSum(std::span<const uint64_t> mask) const
+    {
+        assert(static_cast<int>(mask.size()) == words_);
+        // Dispatch on the word count so the compiler keeps the mask
+        // words in registers across all query planes (head dims up to
+        // 256 take the unrolled paths).
+        switch (words_) {
+        case 1: return maskedSumW<1>(mask.data());
+        case 2: return maskedSumW<2>(mask.data());
+        case 3: return maskedSumW<3>(mask.data());
+        case 4: return maskedSumW<4>(mask.data());
+        default: break;
+        }
+        const uint64_t *qw = storage_.data();
+        int64_t sum = 0;
+        for (int t = 0; t < bits_; t++, qw += words_) {
+            int64_t ones = 0;
+            for (int w = 0; w < words_; w++)
+                ones += std::popcount(qw[w] & mask[w]);
+            sum += static_cast<int64_t>(planeWeight(t)) * ones;
+        }
+        return sum;
+    }
+
+  private:
+    template <int W>
+    int64_t
+    maskedSumW(const uint64_t *mask) const
+    {
+        uint64_t k[W];
+        for (int w = 0; w < W; w++)
+            k[w] = mask[w];
+        const uint64_t *qw = storage_.data();
+        const auto ones = [&qw, &k]() {
+            int64_t o = 0;
+            for (int w = 0; w < W; w++)
+                o += std::popcount(qw[w] & k[w]);
+            return o;
+        };
+        // Sign plane (t = 0, weight -2^{b-1}) first, then the
+        // non-negative planes with descending power-of-two weights.
+        const int64_t neg = ones();
+        qw += W;
+        int64_t pos = 0;
+        for (int t = 1; t < bits_; t++, qw += W)
+            pos += ones() << (bits_ - 1 - t);
+        return pos - (neg << (bits_ - 1));
+    }
+
+    int cols_ = 0;
+    int bits_ = 0;
+    int words_ = 0;
+    std::vector<uint64_t> storage_;
+};
+
+/**
  * Partial dot product of a full-precision query row with the first
  * (r+1) bit planes of key @p row : S^r = sum_{p<=r} w_p * sum_{bit=1} q.
  * This is the score the scoreboard accumulates plane by plane.
+ * Word-parallel: packs the query once and reduces to popcounts.
  */
 int64_t partialDot(std::span<const int8_t> q, const BitPlaneSet &keys,
                    int row, int r);
 
+/** partialDot over an already-packed query (the hot-path form). */
+int64_t partialDot(const QueryPlanes &q, const BitPlaneSet &keys,
+                   int row, int r);
+
+/**
+ * Scalar reference for partialDot: walks every set key bit with ctz.
+ * Kept as the bit-exactness oracle for the popcount kernels.
+ */
+int64_t partialDotScalar(std::span<const int8_t> q,
+                         const BitPlaneSet &keys, int row, int r);
+
 /** Exact dot product via all planes (equals integer QK^T). */
 int64_t exactDot(std::span<const int8_t> q, const BitPlaneSet &keys,
                  int row);
+
+/** exactDot over an already-packed query (the hot-path form). */
+int64_t exactDot(const QueryPlanes &q, const BitPlaneSet &keys,
+                 int row);
+
+/** Scalar reference for exactDot (see partialDotScalar). */
+int64_t exactDotScalar(std::span<const int8_t> q, const BitPlaneSet &keys,
+                       int row);
 
 } // namespace pade
 

@@ -107,22 +107,45 @@ class Matrix
     std::vector<T> data_;
 };
 
+/**
+ * Cache block edges for the matmul kernels below. Sized so one block
+ * pair (a few rows of A/B plus the C strip they touch) stays resident
+ * in L1/L2 across the inner loops; exact values are uncritical, the
+ * win is bounding the reuse distance instead of streaming whole
+ * operand rows per output element.
+ */
+inline constexpr int kMatmulBlockRows = 64;
+inline constexpr int kMatmulBlockCols = 256;
+
 /** C = A * B^T ; A is (m x k), B is (n x k), C is (m x n). */
 template <typename TA, typename TB, typename TC>
 Matrix<TC>
 matmulBt(const Matrix<TA> &a, const Matrix<TB> &b)
 {
     assert(a.cols() == b.cols());
-    Matrix<TC> c(a.rows(), b.rows());
-    for (int i = 0; i < a.rows(); i++) {
-        auto arow = a.row(i);
-        for (int j = 0; j < b.rows(); j++) {
-            auto brow = b.row(j);
-            TC acc{};
-            for (int k = 0; k < a.cols(); k++)
-                acc += static_cast<TC>(arow[k]) *
-                       static_cast<TC>(brow[k]);
-            c.at(i, j) = acc;
+    const int m = a.rows();
+    const int n = b.rows();
+    const int kk = a.cols();
+    Matrix<TC> c(m, n);
+    // Block over B's rows so each strip of B is reused across every
+    // row of A while still hot; both dot-product operands stream
+    // contiguously. Raw pointers keep the inner loop free of
+    // per-element bound asserts.
+    for (int j0 = 0; j0 < n; j0 += kMatmulBlockRows) {
+        const int j1 = std::min(n, j0 + kMatmulBlockRows);
+        for (int i = 0; i < m; i++) {
+            const TA *arow = a.data() +
+                static_cast<std::size_t>(i) * kk;
+            TC *crow = c.data() + static_cast<std::size_t>(i) * n;
+            for (int j = j0; j < j1; j++) {
+                const TB *brow = b.data() +
+                    static_cast<std::size_t>(j) * kk;
+                TC acc{};
+                for (int k = 0; k < kk; k++)
+                    acc += static_cast<TC>(arow[k]) *
+                           static_cast<TC>(brow[k]);
+                crow[j] = acc;
+            }
         }
     }
     return c;
@@ -134,12 +157,29 @@ Matrix<TC>
 matmul(const Matrix<TA> &a, const Matrix<TB> &b)
 {
     assert(a.cols() == b.rows());
-    Matrix<TC> c(a.rows(), b.cols());
-    for (int i = 0; i < a.rows(); i++) {
-        for (int k = 0; k < a.cols(); k++) {
-            const TC av = static_cast<TC>(a.at(i, k));
-            for (int j = 0; j < b.cols(); j++)
-                c.at(i, j) += av * static_cast<TC>(b.at(k, j));
+    const int m = a.rows();
+    const int kk = a.cols();
+    const int n = b.cols();
+    Matrix<TC> c(m, n);
+    // i-k-j with k and j blocked: the C row segment accumulates in
+    // cache across the k block, and the (k x j) panel of B is reused
+    // by every row of A before eviction.
+    for (int k0 = 0; k0 < kk; k0 += kMatmulBlockRows) {
+        const int k1 = std::min(kk, k0 + kMatmulBlockRows);
+        for (int j0 = 0; j0 < n; j0 += kMatmulBlockCols) {
+            const int j1 = std::min(n, j0 + kMatmulBlockCols);
+            for (int i = 0; i < m; i++) {
+                const TA *arow = a.data() +
+                    static_cast<std::size_t>(i) * kk;
+                TC *crow = c.data() + static_cast<std::size_t>(i) * n;
+                for (int k = k0; k < k1; k++) {
+                    const TC av = static_cast<TC>(arow[k]);
+                    const TB *brow = b.data() +
+                        static_cast<std::size_t>(k) * n;
+                    for (int j = j0; j < j1; j++)
+                        crow[j] += av * static_cast<TC>(brow[j]);
+                }
+            }
         }
     }
     return c;

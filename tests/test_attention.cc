@@ -215,6 +215,56 @@ TEST(OnlineSoftmax, OrderInvariantResult)
         EXPECT_NEAR(a[d], b[d], 1e-5f);
 }
 
+TEST(OnlineSoftmax, NoAllocOverloadsMatchSpanApi)
+{
+    // The allocation-free overloads (matrix + id list, matrix +
+    // contiguous first row, finalizeInto) must be bit-identical to
+    // the original vector-of-spans API.
+    Rng rng(16);
+    const MatrixF v = randomMatrix(12, 5, 17);
+    std::vector<float> scores(12);
+    for (auto &s : scores)
+        s = static_cast<float>(rng.gaussian(0.0, 2.0));
+    std::vector<int> ids = {3, 7, 1, 11, 0, 5, 9, 2, 10, 4, 8, 6};
+
+    OnlineSoftmaxRow a(5);
+    OnlineSoftmaxRow b(5);
+    for (size_t base = 0; base < ids.size(); base += 4) {
+        std::vector<float> sc;
+        std::vector<std::span<const float>> vv;
+        for (size_t t = base; t < base + 4; t++) {
+            sc.push_back(scores[t]);
+            vv.push_back(v.row(ids[t]));
+        }
+        a.update(sc, vv);
+        b.update(std::span<const float>(scores).subspan(base, 4), v,
+                 std::span<const int>(ids).subspan(base, 4));
+    }
+    EXPECT_EQ(a.maxUpdates(), b.maxUpdates());
+    EXPECT_EQ(a.rescaleOps(), b.rescaleOps());
+    const auto fa = a.finalize();
+    std::vector<float> fb(5);
+    b.finalizeInto(fb);
+    for (int d = 0; d < 5; d++)
+        EXPECT_EQ(fa[d], fb[d]);
+
+    // Contiguous-row overload against explicit consecutive ids.
+    OnlineSoftmaxRow c(5);
+    OnlineSoftmaxRow d(5);
+    std::vector<int> seq_ids = {4, 5, 6, 7};
+    c.update(std::span<const float>(scores).first(4), v,
+             std::span<const int>(seq_ids));
+    d.update(std::span<const float>(scores).first(4), v, 4);
+    EXPECT_EQ(c.finalize(), d.finalize());
+
+    // reset() must restore a pristine accumulator.
+    d.reset(5);
+    EXPECT_EQ(d.maxUpdates(), 0u);
+    EXPECT_EQ(d.denominator(), 0.0f);
+    d.update(std::span<const float>(scores).first(4), v, 4);
+    EXPECT_EQ(c.finalize(), d.finalize());
+}
+
 TEST(HeadTail, OrderIsPermutation)
 {
     for (int n : {1, 2, 3, 8, 15}) {

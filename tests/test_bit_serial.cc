@@ -22,20 +22,91 @@ randomInt8(int r, int c, uint64_t seed)
     return m;
 }
 
+/** Random matrix whose values fit a @p bits two's-complement range,
+ *  with an adjustable bias toward negative values. */
+MatrixI8
+randomRanged(int r, int c, int bits, uint64_t seed,
+             double negative_frac = 0.5)
+{
+    Rng rng(seed);
+    const int lo = -(1 << (bits - 1));
+    const int hi = (1 << (bits - 1)) - 1;
+    MatrixI8 m(r, c);
+    for (int i = 0; i < r; i++)
+        for (int j = 0; j < c; j++) {
+            int v = rng.bernoulli(negative_frac)
+                ? static_cast<int>(rng.range(lo, -1))
+                : static_cast<int>(rng.range(0, hi));
+            m.at(i, j) = static_cast<int8_t>(v);
+        }
+    return m;
+}
+
 TEST(BitSerial, PlaneDeltasSumToExactDot)
 {
     MatrixI8 q = randomInt8(1, 64, 1);
     MatrixI8 k = randomInt8(4, 64, 2);
     BitPlaneSet planes(k, 8);
+    const QueryPlanes qp(q.row(0));
     for (int j = 0; j < 4; j++) {
         int64_t acc = 0;
         for (int r = 0; r < 8; r++)
-            acc += planeDelta(q.row(0), planes, j, r);
+            acc += planeDelta(qp, planes, j, r);
         int64_t ref = 0;
         for (int d = 0; d < 64; d++)
             ref += static_cast<int64_t>(q.at(0, d)) * k.at(j, d);
         EXPECT_EQ(acc, ref);
     }
+}
+
+TEST(BitSerial, PopcountMatchesScalarExactly)
+{
+    // The word-parallel kernel must be bit-identical to the scalar
+    // reference across random shapes, key bit-widths 2..8, and
+    // negative-heavy query/key distributions.
+    uint64_t seed = 100;
+    for (int bits = 2; bits <= 8; bits++) {
+        for (int cols : {1, 8, 37, 64, 65, 128, 200}) {
+            for (double neg : {0.1, 0.5, 0.9}) {
+                MatrixI8 q = randomRanged(1, cols, 8, seed++, neg);
+                MatrixI8 k = randomRanged(6, cols, bits, seed++, neg);
+                BitPlaneSet planes(k, bits);
+                const QueryPlanes qp(q.row(0));
+                for (int j = 0; j < 6; j++)
+                    for (int r = 0; r < bits; r++)
+                        EXPECT_EQ(
+                            planeDelta(qp, planes, j, r),
+                            planeDeltaScalar(q.row(0), planes, j, r))
+                            << "bits=" << bits << " cols=" << cols
+                            << " neg=" << neg << " j=" << j
+                            << " r=" << r;
+            }
+        }
+    }
+}
+
+TEST(BitSerial, QueryPlanesReuseAndNarrowWidth)
+{
+    // assign() must repack in place, and narrow-range rows must pack
+    // into fewer planes without changing any kernel result.
+    MatrixI8 wide = randomInt8(1, 96, 11);
+    MatrixI8 narrow = randomRanged(1, 96, 4, 12);
+    MatrixI8 k = randomInt8(4, 96, 13);
+    BitPlaneSet planes(k, 8);
+
+    QueryPlanes qp(wide.row(0));
+    EXPECT_EQ(qp.numCols(), 96);
+    for (int j = 0; j < 4; j++)
+        for (int r = 0; r < 8; r++)
+            EXPECT_EQ(planeDelta(qp, planes, j, r),
+                      planeDeltaScalar(wide.row(0), planes, j, r));
+
+    qp.assign(narrow.row(0));
+    EXPECT_LE(qp.numPlanes(), 4);
+    for (int j = 0; j < 4; j++)
+        for (int r = 0; r < 8; r++)
+            EXPECT_EQ(planeDelta(qp, planes, j, r),
+                      planeDeltaScalar(narrow.row(0), planes, j, r));
 }
 
 TEST(BitSerial, BsEquivalence)
@@ -47,20 +118,22 @@ TEST(BitSerial, BsEquivalence)
     for (int j = 0; j < 16; j++)
         for (int r = 0; r < 8; r++)
             EXPECT_EQ(planeDeltaBs(q.row(0), planes, j, r, 8),
-                      planeDelta(q.row(0), planes, j, r));
+                      planeDeltaScalar(q.row(0), planes, j, r));
 }
 
 TEST(BitSerial, BsEquivalenceOddSizes)
 {
-    // Dimensions not divisible by the sub-group size.
-    MatrixI8 q = randomInt8(1, 37, 5);
-    MatrixI8 k = randomInt8(8, 37, 6);
+    // Dimensions not divisible by the sub-group size; include
+    // sub-groups that straddle 64-bit word boundaries (g = 3 with
+    // cols > 64) and the maximum sub-group of one whole word.
+    MatrixI8 q = randomInt8(1, 97, 5);
+    MatrixI8 k = randomInt8(8, 97, 6);
     BitPlaneSet planes(k, 8);
     for (int j = 0; j < 8; j++)
         for (int r = 0; r < 8; r++)
-            for (int g : {3, 8, 16})
+            for (int g : {3, 8, 16, 64})
                 EXPECT_EQ(planeDeltaBs(q.row(0), planes, j, r, g),
-                          planeDelta(q.row(0), planes, j, r));
+                          planeDeltaScalar(q.row(0), planes, j, r));
 }
 
 TEST(BitSerial, SelectedBoundedByHalf)
@@ -132,7 +205,9 @@ TEST(BitSerial, ZeroModeDeltaForAllOnes)
     MatrixI8 k(1, 16);
     k.fill(-1);
     BitPlaneSet planes(k, 8);
-    EXPECT_EQ(planeDelta(q.row(0), planes, 0, 0), -128 * qsum);
+    EXPECT_EQ(planeDelta(QueryPlanes(q.row(0)), planes, 0, 0),
+              -128 * qsum);
+    EXPECT_EQ(planeDeltaScalar(q.row(0), planes, 0, 0), -128 * qsum);
     EXPECT_EQ(planeDeltaBs(q.row(0), planes, 0, 0, 8), -128 * qsum);
 }
 

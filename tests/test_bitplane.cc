@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "quant/bitplane.h"
 
@@ -108,6 +110,75 @@ TEST(BitPlane, ExactDotEqualsInteger)
         for (int d = 0; d < 64; d++)
             ref += static_cast<int64_t>(q.at(0, d)) * k.at(j, d);
         EXPECT_EQ(exactDot(q.row(0), planes, j), ref);
+    }
+}
+
+TEST(QueryPlanes, RoundTripAndWeights)
+{
+    MatrixI8 q = randomInt8(1, 70, 21);
+    const QueryPlanes qp(q.row(0), 8);
+    ASSERT_EQ(qp.numCols(), 70);
+    ASSERT_EQ(qp.numPlanes(), 8);
+    ASSERT_EQ(qp.wordsPerPlane(), 2);
+    EXPECT_EQ(qp.planeWeight(0), -128);
+    EXPECT_EQ(qp.planeWeight(1), 64);
+    EXPECT_EQ(qp.planeWeight(7), 1);
+    // Summing plane weights over set bits reconstructs every value.
+    for (int d = 0; d < 70; d++) {
+        int v = 0;
+        for (int t = 0; t < 8; t++)
+            if (qp.bit(t, d))
+                v += qp.planeWeight(t);
+        EXPECT_EQ(v, q.at(0, d));
+    }
+}
+
+TEST(QueryPlanes, MaskedSumMatchesDirectSum)
+{
+    // maskedSum over a key plane is sum of q over that plane's set
+    // bits — the primitive both popcount kernels build on. Exercise
+    // every word-count specialization (1..4 words and the generic
+    // path at 5 words = 289 cols).
+    for (int cols : {40, 64, 100, 128, 180, 256, 289}) {
+        MatrixI8 q = randomInt8(1, cols, 22 + cols);
+        MatrixI8 k = randomInt8(3, cols, 23 + cols);
+        BitPlaneSet planes(k, 8);
+        const QueryPlanes qp(q.row(0));
+        for (int j = 0; j < 3; j++)
+            for (int r = 0; r < 8; r++) {
+                int64_t ref = 0;
+                for (int d = 0; d < cols; d++)
+                    if (planes.bit(j, r, d))
+                        ref += q.at(0, d);
+                EXPECT_EQ(qp.maskedSum(planes.plane(j, r)), ref)
+                    << "cols=" << cols << " j=" << j << " r=" << r;
+            }
+    }
+}
+
+TEST(BitPlane, PartialDotPopcountMatchesScalar)
+{
+    for (int bits : {2, 5, 8}) {
+        MatrixI8 q = randomInt8(1, 96, 31);
+        MatrixI8 k = randomInt8(4, 96, 32);
+        // Clamp keys into the bit range.
+        const int lo = -(1 << (bits - 1));
+        const int hi = (1 << (bits - 1)) - 1;
+        for (int i = 0; i < 4; i++)
+            for (int d = 0; d < 96; d++)
+                k.at(i, d) = static_cast<int8_t>(
+                    std::clamp<int>(k.at(i, d), lo, hi));
+        BitPlaneSet planes(k, bits);
+        const QueryPlanes qp(q.row(0));
+        for (int j = 0; j < 4; j++)
+            for (int r = 0; r < bits; r++) {
+                EXPECT_EQ(partialDot(qp, planes, j, r),
+                          partialDotScalar(q.row(0), planes, j, r));
+                EXPECT_EQ(partialDot(q.row(0), planes, j, r),
+                          partialDotScalar(q.row(0), planes, j, r));
+            }
+        EXPECT_EQ(exactDot(qp, planes, 0),
+                  exactDotScalar(q.row(0), planes, 0));
     }
 }
 

@@ -10,6 +10,7 @@
 #include "attention/online_softmax.h"
 #include "attention/reference.h"
 #include "core/pade_attention.h"
+#include "runtime/thread_pool.h"
 #include "workload/generator.h"
 
 namespace pade {
@@ -256,6 +257,76 @@ TEST(PadeAttention, BothScanOrdersAccurate)
         const PadeResult res = padeAttention(qh, cfg);
         EXPECT_LT(relativeError(res.out, ref), 0.08) << "ht=" << ht;
     }
+}
+
+TEST(PadeAttention, KernelDispatchBitIdentical)
+{
+    // The popcount and scalar QK kernels compute the same integer
+    // plane deltas, so every observable — output, masks, per-pair
+    // plane counts, statistics — must be bit-identical under both
+    // dispatch modes, across bit-widths and guard settings.
+    for (int bits : {2, 4, 8}) {
+        for (bool guard : {true, false}) {
+            const AttentionHead head = generateHead(smallSpec(21));
+            const QuantizedHead qh = quantizeHead(head, bits);
+            PadeConfig pop_cfg;
+            pop_cfg.qk_kernel = QkKernel::kPopcount;
+            pop_cfg.guard_enabled = guard;
+            PadeConfig sc_cfg = pop_cfg;
+            sc_cfg.qk_kernel = QkKernel::kScalar;
+
+            const PadeResult a = padeAttention(qh, pop_cfg);
+            const PadeResult b = padeAttention(qh, sc_cfg);
+            EXPECT_TRUE(a.out == b.out);
+            EXPECT_TRUE(a.keep == b.keep);
+            EXPECT_TRUE(a.planes == b.planes);
+            EXPECT_EQ(a.retained, b.retained);
+            EXPECT_EQ(a.stats.planes_processed,
+                      b.stats.planes_processed);
+            EXPECT_EQ(a.stats.keys_retained, b.stats.keys_retained);
+            EXPECT_EQ(a.stats.ops_bs, b.stats.ops_bs);
+            EXPECT_EQ(a.stats.ops_naive, b.stats.ops_naive);
+            EXPECT_EQ(a.stats.max_updates, b.stats.max_updates);
+            EXPECT_EQ(a.stats.rescale_ops, b.stats.rescale_ops);
+            EXPECT_EQ(a.stats.threshold_updates,
+                      b.stats.threshold_updates);
+        }
+    }
+}
+
+TEST(PadeAttention, WorkspaceReuseBitIdentical)
+{
+    // One workspace carried across heads of different shapes must
+    // never change results relative to fresh per-call state.
+    PadeWorkspace ws;
+    for (uint64_t seed : {31, 32, 33}) {
+        WorkloadSpec spec = smallSpec(seed);
+        spec.seq_len = seed == 32 ? 512 : 256; // vary shapes
+        spec.head_dim = seed == 33 ? 128 : 64;
+        const QuantizedHead head = quantizeHead(generateHead(spec));
+        const PadeResult with_ws = padeAttention(head, {}, &ws);
+        const PadeResult fresh = padeAttention(head, {});
+        EXPECT_TRUE(with_ws.out == fresh.out);
+        EXPECT_TRUE(with_ws.keep == fresh.keep);
+        EXPECT_EQ(with_ws.stats.planes_processed,
+                  fresh.stats.planes_processed);
+        EXPECT_EQ(with_ws.stats.max_updates, fresh.stats.max_updates);
+    }
+}
+
+TEST(PadeAttention, PooledPlaneWorkBitIdentical)
+{
+    // The eager PlaneWork table may be built across a thread pool;
+    // results and work statistics must not depend on it.
+    ThreadPool pool(2);
+    PadeWorkspace pooled;
+    pooled.pool = &pool;
+    const QuantizedHead head = quantizeHead(generateHead(smallSpec(34)));
+    const PadeResult a = padeAttention(head, {}, &pooled);
+    const PadeResult b = padeAttention(head, {});
+    EXPECT_TRUE(a.out == b.out);
+    EXPECT_EQ(a.stats.ops_bs, b.stats.ops_bs);
+    EXPECT_EQ(a.stats.ops_naive, b.stats.ops_naive);
 }
 
 TEST(PadeAttention, BsOpsNeverExceedNaive)

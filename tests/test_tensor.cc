@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+
 #include "tensor/matrix.h"
 
 namespace pade {
@@ -92,6 +94,73 @@ TEST(Matrix, EmptyMatrix)
     EXPECT_EQ(m.rows(), 0);
     EXPECT_EQ(m.cols(), 0);
     EXPECT_TRUE(m.empty());
+}
+
+TEST(Matmul, BlockedMatchesNaiveAcrossBoundaries)
+{
+    // The cache-blocked kernels must agree with a naive triple loop
+    // on shapes that straddle the block edges (kMatmulBlockRows = 64,
+    // kMatmulBlockCols = 256), including exact-multiple and off-by-one
+    // dimensions.
+    for (auto [m, k, n] : {std::tuple{3, 5, 7},
+                           std::tuple{64, 64, 256},
+                           std::tuple{65, 70, 257},
+                           std::tuple{1, 129, 300},
+                           std::tuple{100, 1, 1}}) {
+        MatrixF a(m, k);
+        MatrixF b(k, n);
+        for (int i = 0; i < m; i++)
+            for (int j = 0; j < k; j++)
+                a.at(i, j) = static_cast<float>((i * 31 + j * 7) % 13)
+                    - 6.0f;
+        for (int i = 0; i < k; i++)
+            for (int j = 0; j < n; j++)
+                b.at(i, j) = static_cast<float>((i * 17 + j * 3) % 11)
+                    - 5.0f;
+        const auto c = matmul<float, float, float>(a, b);
+        ASSERT_EQ(c.rows(), m);
+        ASSERT_EQ(c.cols(), n);
+        for (int i = 0; i < m; i++)
+            for (int j = 0; j < n; j++) {
+                float ref = 0.0f;
+                for (int l = 0; l < k; l++)
+                    ref += a.at(i, l) * b.at(l, j);
+                ASSERT_FLOAT_EQ(c.at(i, j), ref)
+                    << m << "x" << k << "x" << n << " @ (" << i << ","
+                    << j << ")";
+            }
+    }
+}
+
+TEST(MatmulBt, BlockedMatchesNaiveAcrossBoundaries)
+{
+    for (auto [m, n, k] : {std::tuple{3, 7, 5},
+                           std::tuple{64, 64, 64},
+                           std::tuple{65, 130, 33},
+                           std::tuple{1, 200, 128}}) {
+        MatrixF a(m, k);
+        MatrixF b(n, k);
+        for (int i = 0; i < m; i++)
+            for (int j = 0; j < k; j++)
+                a.at(i, j) = static_cast<float>((i * 13 + j * 5) % 9)
+                    - 4.0f;
+        for (int i = 0; i < n; i++)
+            for (int j = 0; j < k; j++)
+                b.at(i, j) = static_cast<float>((i * 11 + j * 2) % 7)
+                    - 3.0f;
+        const auto c = matmulBt<float, float, float>(a, b);
+        ASSERT_EQ(c.rows(), m);
+        ASSERT_EQ(c.cols(), n);
+        for (int i = 0; i < m; i++)
+            for (int j = 0; j < n; j++) {
+                float ref = 0.0f;
+                for (int l = 0; l < k; l++)
+                    ref += a.at(i, l) * b.at(j, l);
+                ASSERT_FLOAT_EQ(c.at(i, j), ref)
+                    << m << "x" << n << "x" << k << " @ (" << i << ","
+                    << j << ")";
+            }
+    }
 }
 
 } // namespace
