@@ -91,6 +91,22 @@ BM_PlaneDeltaScalar(benchmark::State &state)
 BENCHMARK(BM_PlaneDeltaScalar);
 
 void
+BM_PlaneDeltaSimd(benchmark::State &state)
+{
+    const int h = static_cast<int>(state.range(0));
+    const QuantizedHead head = makeHead(1024, h);
+    const QueryPlanes q(head.q.values.row(0));
+    int j = 0;
+    for (auto _ : state) {
+        const int64_t d = planeDeltaSimd(q, head.k_planes, j, 0);
+        benchmark::DoNotOptimize(d);
+        j = (j + 1) % 1024;
+    }
+    state.SetItemsProcessed(state.iterations() * h);
+}
+BENCHMARK(BM_PlaneDeltaSimd)->Arg(128)->Arg(256)->Arg(512);
+
+void
 BM_ExactDot(benchmark::State &state)
 {
     const QuantizedHead head = makeHead(1024, 128);
@@ -119,6 +135,22 @@ BM_ExactDotScalar(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 128);
 }
 BENCHMARK(BM_ExactDotScalar);
+
+void
+BM_ExactDotSimd(benchmark::State &state)
+{
+    const int h = static_cast<int>(state.range(0));
+    const QuantizedHead head = makeHead(1024, h);
+    const QueryPlanes q(head.q.values.row(0));
+    int j = 0;
+    for (auto _ : state) {
+        const int64_t d = exactDotSimd(q, head.k_planes, j);
+        benchmark::DoNotOptimize(d);
+        j = (j + 1) % 1024;
+    }
+    state.SetItemsProcessed(state.iterations() * h);
+}
+BENCHMARK(BM_ExactDotSimd)->Arg(128)->Arg(256)->Arg(512);
 
 void
 BM_PlaneDeltaBs(benchmark::State &state)
@@ -194,6 +226,23 @@ BM_PadeAttentionScalarKernel(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * s * 8);
 }
 BENCHMARK(BM_PadeAttentionScalarKernel)->Arg(512)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_PadeAttentionSimdKernel(benchmark::State &state)
+{
+    const int s = static_cast<int>(state.range(0));
+    const QuantizedHead head = makeHead(s, 128);
+    PadeConfig cfg;
+    cfg.qk_kernel = QkKernel::kSimd; // resolves to popcount off-AVX2
+    PadeWorkspace ws;
+    for (auto _ : state) {
+        const PadeResult res = padeAttention(head, cfg, &ws);
+        benchmark::DoNotOptimize(res.stats.keys_retained);
+    }
+    state.SetItemsProcessed(state.iterations() * s * 8);
+}
+BENCHMARK(BM_PadeAttentionSimdKernel)->Arg(512)->Arg(2048)
     ->Unit(benchmark::kMillisecond);
 
 } // namespace

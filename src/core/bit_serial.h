@@ -59,12 +59,22 @@ PlaneWork planeWork(const BitPlaneSet &keys, int key, int plane,
  * Numeric contribution of plane @p plane of key @p key to Q.K:
  * weight(plane) * sum_{bit=1} q. Word-parallel form: the query is
  * bit-plane-packed too, so the per-plane sum reduces to weighted
- * popcount(qplane AND kplane) over the packed 64-bit words — the
- * kernel the simulator's hot path dispatches to by default
+ * popcount(qplane AND kplane) over the packed 64-bit words
  * (QkKernel::kPopcount). Bit-identical to planeDeltaScalar().
  */
 int64_t planeDelta(const QueryPlanes &q, const BitPlaneSet &keys,
                    int key, int plane);
+
+/**
+ * planeDelta() through the AVX2 backend (QkKernel::kSimd, the hot
+ * path's default where supported): a value-domain masked byte sum
+ * for short rows and a vpshufb-nibble / Harley-Seal plane reduction
+ * for wide ones — see the strategy comment in src/core/simd/qk_avx2.h.
+ * Bit-identical to both other kernels; silently falls back to
+ * planeDelta() when AVX2 is compiled out or the CPU lacks it.
+ */
+int64_t planeDeltaSimd(const QueryPlanes &q, const BitPlaneSet &keys,
+                       int key, int plane);
 
 /**
  * Scalar reference implementation of planeDelta(): walks every set key

@@ -4,6 +4,7 @@
 
 #include "core/bui.h"
 #include "core/guard_filter.h"
+#include "core/simd/qk_avx2.h"
 #include "runtime/thread_pool.h"
 
 namespace pade {
@@ -41,7 +42,10 @@ padeAttention(const QuantizedHead &head, const PadeConfig &cfg,
     const int s = head.k.values.rows();
     const int h = head.v.values.cols();
     const int bits = head.k_planes.numPlanes();
-    const bool popcount_qk = cfg.qk_kernel == QkKernel::kPopcount;
+    // Final kernel decision: config request + PADE_QK_KERNEL override
+    // + capability clamp (kSimd degrades to kPopcount off-AVX2).
+    const QkKernel kernel = resolveQkKernel(cfg.qk_kernel);
+    const bool packed_qk = kernel != QkKernel::kScalar;
 
     PadeWorkspace local_ws;
     PadeWorkspace &ws = ws_in ? *ws_in : local_ws;
@@ -78,8 +82,14 @@ padeAttention(const QuantizedHead &head, const PadeConfig &cfg,
     ws.tile_scores.resize(static_cast<size_t>(cfg.tile_bc));
     for (int i = 0; i < p; i++) {
         auto q = head.q.values.row(i);
-        if (popcount_qk)
+        if (packed_qk)
             ws.qplanes.assign(q);
+        // Hoisted SIMD dispatch state: kSimd survived resolveQkKernel
+        // only if the backend is available, so the view is safe to
+        // build here — once per query row, not per (key, plane) call.
+        const bool simd_qk = kernel == QkKernel::kSimd;
+        const simd::QPlaneView qview =
+            simd_qk ? ws.qplanes.simdView() : simd::QPlaneView{};
         const BuiTable bui = computeBuiTable(q, bits);
         GuardFilter guard(cfg.alpha, cfg.radius, head.logit_scale);
 
@@ -97,7 +107,13 @@ padeAttention(const QuantizedHead &head, const PadeConfig &cfg,
             int64_t score = 0;
             bool pruned = false;
             for (int r = 0; r < bits; r++) {
-                score += popcount_qk
+                score += simd_qk
+                    ? static_cast<int64_t>(
+                          head.k_planes.planeWeight(r)) *
+                        simd::maskedSumAvx2(
+                            qview, head.k_planes.plane(j, r).data(),
+                            head.k_planes.wordsPerPlane())
+                    : packed_qk
                     ? planeDelta(ws.qplanes, head.k_planes, j, r)
                     : planeDeltaScalar(q, head.k_planes, j, r);
                 res.planes.at(i, j) = static_cast<uint8_t>(r + 1);

@@ -21,26 +21,13 @@
 
 #include "attention/online_softmax.h"
 #include "core/bit_serial.h"
+#include "core/simd/qk_dispatch.h"
 #include "tensor/matrix.h"
 #include "workload/generator.h"
 
 namespace pade {
 
 class ThreadPool;
-
-/**
- * QK scoring kernel selection. Both kernels compute the identical
- * integer plane deltas — kPopcount reduces each (key, plane) issue to
- * weighted popcount(qplane AND kplane) over packed 64-bit words, while
- * kScalar walks every set key bit (the original bit-serial-faithful
- * reference). Outputs and statistics are bit-identical; only wall
- * clock differs.
- */
-enum class QkKernel
-{
-    kPopcount, //!< word-parallel weighted-popcount kernel (default)
-    kScalar,   //!< per-set-bit scalar reference
-};
 
 /** Algorithm configuration (paper defaults). */
 struct PadeConfig
@@ -54,7 +41,16 @@ struct PadeConfig
                                //!< query_len positions)
     int subgroup = 8;          //!< GSAT sub-group size
     int muxes = 4;             //!< GSAT muxes per sub-group
-    QkKernel qk_kernel = QkKernel::kPopcount; //!< QK scoring kernel
+    /**
+     * QK scoring kernel (see core/simd/qk_dispatch.h for the
+     * three-way dispatch story). Defaults to the fastest available
+     * backend — kSimd on AVX2 hardware, kPopcount otherwise; all
+     * kernels are bit-identical. padeAttention resolves the request
+     * through resolveQkKernel(), so the PADE_QK_KERNEL environment
+     * variable overrides this field and an unavailable kSimd
+     * degrades to kPopcount.
+     */
+    QkKernel qk_kernel = defaultQkKernel();
 };
 
 /**

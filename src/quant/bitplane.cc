@@ -3,17 +3,32 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cstdint>
 
 #include "common/math_util.h"
+#include "core/simd/qk_avx2.h"
+#include "core/simd/qk_dispatch.h"
 
 namespace pade {
+namespace {
+
+/** Debug check of the storage contract the SIMD backend relies on. */
+inline void
+assertPlaneAligned(const uint64_t *p)
+{
+    assert(reinterpret_cast<std::uintptr_t>(p) % 32 == 0);
+    (void)p;
+}
+
+} // namespace
 
 BitPlaneSet::BitPlaneSet(const MatrixI8 &m, int bits)
     : rows_(m.rows()), cols_(m.cols()), bits_(bits),
-      words_((m.cols() + 63) / 64)
+      words_((m.cols() + 63) / 64),
+      stride_(planeStrideWords(words_))
 {
     assert(bits_ >= 2 && bits_ <= 8);
-    storage_.assign(static_cast<size_t>(rows_) * bits_ * words_, 0);
+    storage_.assign(static_cast<size_t>(rows_) * bits_ * stride_, 0);
     popcounts_.assign(static_cast<size_t>(rows_) * bits_, 0);
 
     const int lo = -(1 << (bits_ - 1));
@@ -67,8 +82,18 @@ BitPlaneSet::bit(int row, int r, int col) const
 std::span<const uint64_t>
 BitPlaneSet::plane(int row, int r) const
 {
-    return {storage_.data() + planeIndex(row, r),
-            static_cast<size_t>(words_)};
+    const uint64_t *p = storage_.data() + planeIndex(row, r);
+    assertPlaneAligned(p);
+    return {p, static_cast<size_t>(words_)};
+}
+
+std::span<const uint64_t>
+BitPlaneSet::rowPlanes(int row) const
+{
+    assert(row >= 0 && row < rows_);
+    const uint64_t *p = storage_.data() + planeIndex(row, 0);
+    assertPlaneAligned(p);
+    return {p, static_cast<size_t>(bits_) * stride_};
 }
 
 int
@@ -98,6 +123,7 @@ QueryPlanes::assign(std::span<const int8_t> q, int bits)
 {
     cols_ = static_cast<int>(q.size());
     words_ = (cols_ + 63) / 64;
+    stride_ = planeStrideWords(words_);
 
     if (bits == 0) {
         // Minimal two's-complement width covering the value range:
@@ -115,16 +141,41 @@ QueryPlanes::assign(std::span<const int8_t> q, int bits)
     assert(bits >= 1 && bits <= 8);
     bits_ = bits;
 
-    storage_.assign(static_cast<std::size_t>(bits_) * words_, 0);
+    storage_.assign(static_cast<std::size_t>(bits_) * stride_, 0);
     for (int col = 0; col < cols_; col++) {
         const uint8_t u = static_cast<uint8_t>(q[col]) &
             static_cast<uint8_t>((1u << bits_) - 1);
         for (int t = 0; t < bits_; t++) {
             if ((u >> (bits_ - 1 - t)) & 1u)
-                storage_[static_cast<std::size_t>(t) * words_ +
+                storage_[static_cast<std::size_t>(t) * stride_ +
                          col / 64] |= 1ULL << (col % 64);
         }
     }
+
+    // The byte value mirror is rebuilt lazily on first simdView() —
+    // scalar/popcount executions never pay for it.
+    values_valid_ = false;
+}
+
+void
+QueryPlanes::buildValues() const
+{
+    // Byte mirror for the AVX2 value-domain kernel (see the header):
+    // the sign-extended reconstruction of the packed planes, NOT the
+    // raw assign() input, so plane-domain and value-domain sums agree
+    // bit for bit even if a caller-forced narrow width truncated
+    // values.
+    values_.assign((static_cast<std::size_t>(cols_) + 31) / 32 * 32,
+                   0);
+    const int shift = 8 - bits_;
+    for (int col = 0; col < cols_; col++) {
+        unsigned u = 0;
+        for (int t = 0; t < bits_; t++)
+            u = (u << 1) | static_cast<unsigned>(bit(t, col));
+        values_[col] = static_cast<int8_t>(
+            static_cast<int8_t>(u << shift) >> shift);
+    }
+    values_valid_ = true;
 }
 
 int
@@ -140,16 +191,36 @@ bool
 QueryPlanes::bit(int t, int col) const
 {
     assert(col >= 0 && col < cols_);
-    return (storage_[static_cast<std::size_t>(t) * words_ + col / 64] >>
-            (col % 64)) & 1ULL;
+    return (storage_[static_cast<std::size_t>(t) * stride_ +
+                     col / 64] >> (col % 64)) & 1ULL;
 }
 
 std::span<const uint64_t>
 QueryPlanes::plane(int t) const
 {
     assert(t >= 0 && t < bits_);
-    return {storage_.data() + static_cast<std::size_t>(t) * words_,
-            static_cast<std::size_t>(words_)};
+    const uint64_t *p =
+        storage_.data() + static_cast<std::size_t>(t) * stride_;
+    assertPlaneAligned(p);
+    return {p, static_cast<std::size_t>(words_)};
+}
+
+simd::QPlaneView
+QueryPlanes::simdView() const
+{
+    assertPlaneAligned(storage_.data());
+    if (!values_valid_)
+        buildValues();
+    return {storage_.data(), values_.data(), stride_, bits_, cols_};
+}
+
+int64_t
+QueryPlanes::maskedSumSimd(std::span<const uint64_t> mask) const
+{
+    assert(static_cast<int>(mask.size()) == words_);
+    if (!qkSimdAvailable())
+        return maskedSum(mask);
+    return simd::maskedSumAvx2(simdView(), mask.data(), words_);
 }
 
 int64_t
@@ -193,6 +264,20 @@ partialDotScalar(std::span<const int8_t> q, const BitPlaneSet &keys,
 }
 
 int64_t
+partialDotSimd(const QueryPlanes &q, const BitPlaneSet &keys, int row,
+               int r)
+{
+    assert(q.numCols() == keys.numCols());
+    assert(r >= 0 && r < keys.numPlanes());
+    if (!qkSimdAvailable())
+        return partialDot(q, keys, row, r);
+    const simd::QPlaneView view = q.simdView();
+    return simd::dotPlanesAvx2(view, keys.rowPlanes(row).data(),
+                               keys.planeStride(), keys.numPlanes(),
+                               r + 1, keys.wordsPerPlane());
+}
+
+int64_t
 exactDot(std::span<const int8_t> q, const BitPlaneSet &keys, int row)
 {
     return partialDot(q, keys, row, keys.numPlanes() - 1);
@@ -209,6 +294,12 @@ exactDotScalar(std::span<const int8_t> q, const BitPlaneSet &keys,
                int row)
 {
     return partialDotScalar(q, keys, row, keys.numPlanes() - 1);
+}
+
+int64_t
+exactDotSimd(const QueryPlanes &q, const BitPlaneSet &keys, int row)
+{
+    return partialDotSimd(q, keys, row, keys.numPlanes() - 1);
 }
 
 } // namespace pade

@@ -14,6 +14,16 @@
  * popcounts, matching the accelerator's K-SRAM layout in which one SRAM
  * row holds the same bit plane across the hidden dimension (paper
  * Fig. 22).
+ *
+ * Storage contract shared by BitPlaneSet and QueryPlanes (what the
+ * AVX2 backend in src/core/simd/ relies on): every plane row starts
+ * on a 32-byte boundary (rows are kPlaneAlignWords words apart and
+ * the backing store is 32-byte aligned), and the padding words
+ * between the logical row length (wordsPerPlane()) and the aligned
+ * stride are zero. Bits past the column count within the last logical
+ * word are zero as well. plane() spans still cover exactly
+ * wordsPerPlane() words, so word-walking consumers are unaffected by
+ * the padding.
  */
 
 #ifndef PADE_QUANT_BITPLANE_H
@@ -26,9 +36,28 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.h"
 #include "tensor/matrix.h"
 
 namespace pade {
+
+namespace simd {
+struct QPlaneView;
+}
+
+/** Plane rows start this many words apart (32 bytes: one YMM load). */
+inline constexpr int kPlaneAlignWords = 4;
+
+/** Round a word count up to the aligned plane stride. */
+constexpr int
+planeStrideWords(int words)
+{
+    return (words + kPlaneAlignWords - 1) / kPlaneAlignWords *
+        kPlaneAlignWords;
+}
+
+/** Backing store of packed planes: 32-byte aligned uint64 words. */
+using PlaneStore = std::vector<uint64_t, AlignedAllocator<uint64_t, 32>>;
 
 /**
  * Packed bit planes of an integer matrix (rows = keys/tokens).
@@ -48,6 +77,17 @@ class BitPlaneSet
     int numCols() const { return cols_; }
     int numPlanes() const { return bits_; }
     int wordsPerPlane() const { return words_; }
+    /** Allocated words between consecutive plane rows (32B multiple). */
+    int planeStride() const { return stride_; }
+
+    /**
+     * All @c numPlanes() planes of @p row as one contiguous block:
+     * plane r starts at offset r * planeStride(). This is the view
+     * the fused SIMD dot kernel consumes (partialDotSimd/
+     * exactDotSimd); the alignment/zero-padding contract of plane()
+     * applies to every row in the block.
+     */
+    std::span<const uint64_t> rowPlanes(int row) const;
 
     /** Signed weight of plane @p r: -2^{p-1} for r=0, else 2^{p-1-r}. */
     int planeWeight(int r) const;
@@ -61,7 +101,12 @@ class BitPlaneSet
     /** Bit of element (row, col) on plane r. */
     bool bit(int row, int r, int col) const;
 
-    /** Packed words of plane r of @p row. */
+    /**
+     * Packed words of plane r of @p row. The data pointer is 32-byte
+     * aligned and the words from .size() up to the aligned stride are
+     * readable and zero (see the storage contract in the file
+     * comment).
+     */
     std::span<const uint64_t> plane(int row, int r) const;
 
     /** Cached popcount of plane r of @p row. */
@@ -81,14 +126,15 @@ class BitPlaneSet
     std::size_t
     planeIndex(int row, int r) const
     {
-        return (static_cast<std::size_t>(row) * bits_ + r) * words_;
+        return (static_cast<std::size_t>(row) * bits_ + r) * stride_;
     }
 
     int rows_ = 0;
     int cols_ = 0;
     int bits_ = 8;
-    int words_ = 0;
-    std::vector<uint64_t> storage_;
+    int words_ = 0;  //!< logical words per plane: ceil(cols / 64)
+    int stride_ = 0; //!< allocated words per plane (32-byte multiple)
+    PlaneStore storage_;
     std::vector<int> popcounts_;
 };
 
@@ -110,6 +156,10 @@ class BitPlaneSet
  * row) allocation-free after the first call; it also narrows to the
  * minimal bit-width covering the row's value range, so e.g. INT4-range
  * queries cost 4 plane ANDs instead of 8.
+ *
+ * Storage follows the same alignment contract as BitPlaneSet (32-byte
+ * aligned plane rows, zero padding to the aligned stride) — the AVX2
+ * maskedSumSimd() path depends on it for aligned full-width loads.
  */
 class QueryPlanes
 {
@@ -125,6 +175,17 @@ class QueryPlanes
     int numCols() const { return cols_; }
     int numPlanes() const { return bits_; }
     int wordsPerPlane() const { return words_; }
+    /** Allocated words between consecutive plane rows (32B multiple). */
+    int planeStride() const { return stride_; }
+
+    /**
+     * Raw pointer view handed to the AVX2 kernels (packed planes plus
+     * the byte value mirror, built lazily on the first call after
+     * assign() so non-SIMD executions never pay for it). Only valid
+     * while this object is alive and unmodified. Not thread-safe —
+     * like the rest of QueryPlanes, one instance per worker thread.
+     */
+    simd::QPlaneView simdView() const;
 
     /** Signed weight of plane @p t: -2^{b-1} for t=0, else 2^{b-1-t}. */
     int planeWeight(int t) const;
@@ -132,7 +193,11 @@ class QueryPlanes
     /** Bit of element @p col on plane @p t (tests/debugging). */
     bool bit(int t, int col) const;
 
-    /** Packed words of plane @p t. */
+    /**
+     * Packed words of plane @p t; 32-byte-aligned data pointer, zero
+     * padding up to the aligned stride past .size() (the BitPlaneSet
+     * storage contract).
+     */
     std::span<const uint64_t> plane(int t) const;
 
     /**
@@ -141,6 +206,9 @@ class QueryPlanes
      * bit-serial plane delta reduces to; the mask is one packed key
      * plane. Weights are powers of two, so the per-plane popcounts
      * combine with shifts — no multiplies on the hot path.
+     *
+     * @p mask must hold exactly wordsPerPlane() words; this baseline
+     * kernel reads nothing past the span.
      */
     int64_t
     maskedSum(std::span<const uint64_t> mask) const
@@ -158,7 +226,7 @@ class QueryPlanes
         }
         const uint64_t *qw = storage_.data();
         int64_t sum = 0;
-        for (int t = 0; t < bits_; t++, qw += words_) {
+        for (int t = 0; t < bits_; t++, qw += stride_) {
             int64_t ones = 0;
             for (int w = 0; w < words_; w++)
                 ones += std::popcount(qw[w] & mask[w]);
@@ -166,6 +234,17 @@ class QueryPlanes
         }
         return sum;
     }
+
+    /**
+     * maskedSum() through the AVX2 backend (QkKernel::kSimd). Exact
+     * same value, bit for bit — the SIMD kernel counts the same set
+     * bits with the same power-of-two weights, only wider. Falls back
+     * to maskedSum() when the backend is compiled out or the CPU
+     * lacks AVX2, so it is always safe to call. Like maskedSum(),
+     * only the mask's own words are dereferenced (the tail chunk is
+     * read with a masked load), so any caller span is legal.
+     */
+    int64_t maskedSumSimd(std::span<const uint64_t> mask) const;
 
   private:
     template <int W>
@@ -185,17 +264,34 @@ class QueryPlanes
         // Sign plane (t = 0, weight -2^{b-1}) first, then the
         // non-negative planes with descending power-of-two weights.
         const int64_t neg = ones();
-        qw += W;
+        qw += stride_;
         int64_t pos = 0;
-        for (int t = 1; t < bits_; t++, qw += W)
+        for (int t = 1; t < bits_; t++, qw += stride_)
             pos += ones() << (bits_ - 1 - t);
         return pos - (neg << (bits_ - 1));
     }
 
     int cols_ = 0;
     int bits_ = 0;
-    int words_ = 0;
-    std::vector<uint64_t> storage_;
+    int words_ = 0;  //!< logical words per plane: ceil(cols / 64)
+    int stride_ = 0; //!< allocated words per plane (32-byte multiple)
+    PlaneStore storage_;
+    /** Rebuild values_ from the packed planes (lazy, see simdView). */
+    void buildValues() const;
+
+    /**
+     * Byte mirror of the packed planes — element col is exactly the
+     * plane reconstruction sum_t planeWeight(t) * bit(t, col) — kept
+     * 32-byte aligned and zero-padded to a 32-byte boundary. Built
+     * lazily by simdView() (mutable: a deferred cache of const
+     * state): the AVX2 short-row kernel computes maskedSum directly
+     * in the value domain (select bytes by mask,
+     * vpmaddubsw-accumulate), touching one byte per element instead
+     * of one plane bit per (plane, element). Never built when no
+     * SIMD kernel runs.
+     */
+    mutable std::vector<int8_t, AlignedAllocator<int8_t, 32>> values_;
+    mutable bool values_valid_ = false;
 };
 
 /**
@@ -213,10 +309,18 @@ int64_t partialDot(const QueryPlanes &q, const BitPlaneSet &keys,
 
 /**
  * Scalar reference for partialDot: walks every set key bit with ctz.
- * Kept as the bit-exactness oracle for the popcount kernels.
+ * Kept as the bit-exactness oracle for the popcount and SIMD kernels.
  */
 int64_t partialDotScalar(std::span<const int8_t> q,
                          const BitPlaneSet &keys, int row, int r);
+
+/**
+ * partialDot through the AVX2 backend (QkKernel::kSimd); bit-identical
+ * to partialDot()/partialDotScalar(), falls back to the popcount
+ * kernel when AVX2 is unavailable.
+ */
+int64_t partialDotSimd(const QueryPlanes &q, const BitPlaneSet &keys,
+                       int row, int r);
 
 /** Exact dot product via all planes (equals integer QK^T). */
 int64_t exactDot(std::span<const int8_t> q, const BitPlaneSet &keys,
@@ -229,6 +333,10 @@ int64_t exactDot(const QueryPlanes &q, const BitPlaneSet &keys,
 /** Scalar reference for exactDot (see partialDotScalar). */
 int64_t exactDotScalar(std::span<const int8_t> q, const BitPlaneSet &keys,
                        int row);
+
+/** exactDot through the AVX2 backend (see partialDotSimd). */
+int64_t exactDotSimd(const QueryPlanes &q, const BitPlaneSet &keys,
+                     int row);
 
 } // namespace pade
 

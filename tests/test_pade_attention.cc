@@ -259,38 +259,84 @@ TEST(PadeAttention, BothScanOrdersAccurate)
     }
 }
 
+/** Expect two padeAttention results to agree on every observable. */
+void
+expectBitIdentical(const PadeResult &a, const PadeResult &b,
+                   const char *what)
+{
+    EXPECT_TRUE(a.out == b.out) << what;
+    EXPECT_TRUE(a.keep == b.keep) << what;
+    EXPECT_TRUE(a.planes == b.planes) << what;
+    EXPECT_EQ(a.retained, b.retained) << what;
+    EXPECT_EQ(a.stats.planes_processed, b.stats.planes_processed)
+        << what;
+    EXPECT_EQ(a.stats.keys_retained, b.stats.keys_retained) << what;
+    EXPECT_EQ(a.stats.ops_bs, b.stats.ops_bs) << what;
+    EXPECT_EQ(a.stats.ops_naive, b.stats.ops_naive) << what;
+    EXPECT_EQ(a.stats.max_updates, b.stats.max_updates) << what;
+    EXPECT_EQ(a.stats.rescale_ops, b.stats.rescale_ops) << what;
+    EXPECT_EQ(a.stats.threshold_updates, b.stats.threshold_updates)
+        << what;
+}
+
 TEST(PadeAttention, KernelDispatchBitIdentical)
 {
-    // The popcount and scalar QK kernels compute the same integer
-    // plane deltas, so every observable — output, masks, per-pair
-    // plane counts, statistics — must be bit-identical under both
-    // dispatch modes, across bit-widths and guard settings.
+    // All three QK kernels compute the same integer plane deltas, so
+    // every observable — output, masks, per-pair plane counts,
+    // statistics — must be bit-identical under every dispatch mode,
+    // across bit-widths and guard settings. (kSimd falls back to
+    // kPopcount off-AVX2, which keeps this test meaningful there.)
     for (int bits : {2, 4, 8}) {
         for (bool guard : {true, false}) {
             const AttentionHead head = generateHead(smallSpec(21));
             const QuantizedHead qh = quantizeHead(head, bits);
-            PadeConfig pop_cfg;
-            pop_cfg.qk_kernel = QkKernel::kPopcount;
-            pop_cfg.guard_enabled = guard;
-            PadeConfig sc_cfg = pop_cfg;
+            PadeConfig sc_cfg;
             sc_cfg.qk_kernel = QkKernel::kScalar;
+            sc_cfg.guard_enabled = guard;
+            PadeConfig pop_cfg = sc_cfg;
+            pop_cfg.qk_kernel = QkKernel::kPopcount;
+            PadeConfig simd_cfg = sc_cfg;
+            simd_cfg.qk_kernel = QkKernel::kSimd;
 
-            const PadeResult a = padeAttention(qh, pop_cfg);
-            const PadeResult b = padeAttention(qh, sc_cfg);
-            EXPECT_TRUE(a.out == b.out);
-            EXPECT_TRUE(a.keep == b.keep);
-            EXPECT_TRUE(a.planes == b.planes);
-            EXPECT_EQ(a.retained, b.retained);
-            EXPECT_EQ(a.stats.planes_processed,
-                      b.stats.planes_processed);
-            EXPECT_EQ(a.stats.keys_retained, b.stats.keys_retained);
-            EXPECT_EQ(a.stats.ops_bs, b.stats.ops_bs);
-            EXPECT_EQ(a.stats.ops_naive, b.stats.ops_naive);
-            EXPECT_EQ(a.stats.max_updates, b.stats.max_updates);
-            EXPECT_EQ(a.stats.rescale_ops, b.stats.rescale_ops);
-            EXPECT_EQ(a.stats.threshold_updates,
-                      b.stats.threshold_updates);
+            const PadeResult oracle = padeAttention(qh, sc_cfg);
+            expectBitIdentical(padeAttention(qh, pop_cfg), oracle,
+                               "popcount vs scalar");
+            expectBitIdentical(padeAttention(qh, simd_cfg), oracle,
+                               "simd vs scalar");
         }
+    }
+}
+
+TEST(PadeAttention, KernelDispatchBitIdenticalOnTailShapes)
+{
+    // head_dims off the SIMD width (65, 127) leave masked remainders
+    // in the vector kernels, and tiny seq/query counts (1, 3)
+    // degenerate the tile loop; all three kernels must still agree
+    // bit for bit.
+    struct Shape
+    {
+        int seq, queries, head_dim;
+    };
+    for (const auto [seq, queries, head_dim] :
+         {Shape{1, 1, 65}, Shape{3, 2, 127}, Shape{256, 3, 65},
+          Shape{257, 4, 127}, Shape{129, 1, 96}, Shape{64, 2, 300}}) {
+        WorkloadSpec spec = smallSpec(37);
+        spec.seq_len = seq;
+        spec.query_len = queries;
+        spec.head_dim = head_dim;
+        const QuantizedHead qh = quantizeHead(generateHead(spec));
+        PadeConfig sc_cfg;
+        sc_cfg.qk_kernel = QkKernel::kScalar;
+        PadeConfig pop_cfg;
+        pop_cfg.qk_kernel = QkKernel::kPopcount;
+        PadeConfig simd_cfg;
+        simd_cfg.qk_kernel = QkKernel::kSimd;
+
+        const PadeResult oracle = padeAttention(qh, sc_cfg);
+        expectBitIdentical(padeAttention(qh, pop_cfg), oracle,
+                           "popcount vs scalar (tail)");
+        expectBitIdentical(padeAttention(qh, simd_cfg), oracle,
+                           "simd vs scalar (tail)");
     }
 }
 
