@@ -18,6 +18,8 @@
 #ifndef PADE_BENCH_COMMON_H
 #define PADE_BENCH_COMMON_H
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,7 @@
 #include "common/cli.h"
 #include "common/math_util.h"
 #include "common/table.h"
+#include "core/pade_attention.h"
 #include "runtime/thread_pool.h"
 
 namespace pade {
@@ -88,6 +91,41 @@ SimOutcome runPade(const ArchConfig &cfg, SimRequest req, double alpha);
 
 /** Analytic block dims matching a request's simulated block. */
 AttentionDims blockDims(const SimRequest &req, int sim_seq);
+
+/** One point of the serving cached-vs-repack decode measurement. */
+struct ServingDecodePoint
+{
+    int ctx = 4096;        //!< prefill length (tokens)
+    int steps = 8;         //!< decode tokens measured
+    int head_dim = 128;
+    int bits = 8;
+    double locality = 0.5; //!< workload-generator locality knob
+    uint64_t seed = 42;
+    int reps = 1;          //!< best-of reps for the append component
+};
+
+/** Measured per-token decode costs of one point. */
+struct ServingDecodeCost
+{
+    double append_us_per_tok = 0.0; //!< cache maintenance alone
+    double cached_us_per_tok = 0.0; //!< incremental append + step
+    double repack_us_per_tok = 0.0; //!< full history re-pack + step
+    double keep_rate = 0.0;         //!< guard keep rate over the run
+    int pages = 0;                  //!< final KvCache pages
+    std::size_t cache_bytes = 0;    //!< final resident KV bytes
+};
+
+/**
+ * Shared cached-vs-repack serving harness (perf_suite section 5 and
+ * examples/long_context_decode drive the same protocol): prefill a
+ * KvCache to ctx tokens, decode `steps` tokens incrementally
+ * (append + guarded DecodeEngine step), then decode the same tokens
+ * rebuilding the cache from scratch per token. Also times the
+ * append-only component at full context — the number that must stay
+ * flat as ctx grows.
+ */
+ServingDecodeCost measureServingDecode(const ServingDecodePoint &pt,
+                                       const PadeConfig &cfg);
 
 /** Convenience stdout header for a bench. */
 void banner(const std::string &title);

@@ -4,7 +4,7 @@
  * machine-readable BENCH_perf.json so the performance trajectory is
  * visible across PRs (CI uploads the file as an artifact).
  *
- * Four stages are measured:
+ * Five stages are measured:
  *  1. QK scoring kernel — the three-way kernel comparison (scalar
  *     ctz-walk oracle, word-parallel popcount, AVX2 SIMD backend)
  *     across {seq, bits, head_dim} points, including the
@@ -14,7 +14,13 @@
  *  3. reference attention — cache-blocked dense matmul path and the
  *     tiled flash recurrence (the oracle every figure bench pays for);
  *  4. a batch-driver sweep across {seq, bits, concentration} points,
- *     fanned over the thread pool (the fig17-style DSE bottleneck).
+ *     fanned over the thread pool (the fig17-style DSE bottleneck);
+ *  5. serving decode — per-token cost of the incremental KvCache
+ *     (append + guarded step) against re-packing the full history
+ *     every token, across context lengths. The append (cache
+ *     maintenance) component is context-independent for the cached
+ *     path and linear in context for re-pack — the subsystem's
+ *     headline property.
  *
  * Flags: --quick (CI smoke: fewer/smaller points), --reps=N best-of
  * repetitions (default 3), --out=FILE (default BENCH_perf.json),
@@ -180,7 +186,7 @@ main(int argc, char **argv)
     //    SIMD backend targets (ISSUE 3 acceptance: >= 1.5x over
     //    popcount there).
     // ------------------------------------------------------------------
-    std::printf("\n[1/4] QK scoring kernel (exactDot over all pairs; "
+    std::printf("\n[1/5] QK scoring kernel (exactDot over all pairs; "
                 "simd %s)\n",
                 qkSimdAvailable() ? "available" : "UNAVAILABLE");
     Table t1;
@@ -261,7 +267,7 @@ main(int argc, char **argv)
     //    workspace. kSimd silently resolves to kPopcount when the
     //    backend is unavailable (the two columns then read the same).
     // ------------------------------------------------------------------
-    std::printf("\n[2/4] padeAttention (guarded, workspace reuse)\n");
+    std::printf("\n[2/5] padeAttention (guarded, workspace reuse)\n");
     Table t2;
     t2.header({"seq", "scalar ms", "popcount ms", "simd ms",
                "simd/scalar", "keep rate"});
@@ -305,7 +311,7 @@ main(int argc, char **argv)
     // ------------------------------------------------------------------
     // 3. Reference attention (cache-blocked matmul path + flash).
     // ------------------------------------------------------------------
-    std::printf("\n[3/4] reference attention (oracle path)\n");
+    std::printf("\n[3/5] reference attention (oracle path)\n");
     Table t3;
     t3.header({"seq", "queries", "dense ms", "flash ms"});
     json.openArray("reference");
@@ -341,7 +347,7 @@ main(int argc, char **argv)
     // ------------------------------------------------------------------
     // 4. Batch-driver sweep across {seq, bits, concentration}.
     // ------------------------------------------------------------------
-    std::printf("\n[4/4] batch-driver sweep (%d workers)\n",
+    std::printf("\n[4/5] batch-driver sweep (%d workers)\n",
                 sweep_threads);
     std::vector<BatchItem> sweep;
     for (int seq : quick ? std::vector<int>{2048}
@@ -372,6 +378,53 @@ main(int argc, char **argv)
     json.field("threads", static_cast<int64_t>(sweep_threads));
     json.field("wall_ms", sweep_ms);
     json.close();
+
+    // ------------------------------------------------------------------
+    // 5. Serving decode: incremental KvCache vs full re-pack. The
+    //    cached pack cost (append only) must stay flat across context
+    //    lengths — it is O(bits * head_dim) per token — while the
+    //    re-pack cost is O(context); the total step cost additionally
+    //    carries the O(context) guarded scan both paths share.
+    // ------------------------------------------------------------------
+    std::printf("\n[5/5] serving decode (incremental KvCache vs "
+                "re-pack)\n");
+    Table t5;
+    t5.header({"ctx", "append us/tok", "cached us/tok",
+               "repack us/tok", "repack/cached", "decode tok/s"});
+    json.openArray("serving_decode");
+    const int serve_steps = quick ? 6 : 12;
+    for (int ctx : quick ? std::vector<int>{512, 1024}
+                         : std::vector<int>{1024, 2048, 4096}) {
+        ServingDecodePoint pt;
+        pt.ctx = ctx;
+        pt.steps = serve_steps;
+        pt.reps = reps;
+        const ServingDecodeCost c =
+            measureServingDecode(pt, PadeConfig{});
+        checksum += c.pages;
+        // Coarse steady_clock ticks can measure a 0 us cached loop;
+        // keep the ratios finite so the JSON stays parseable.
+        const double cached_us = std::max(c.cached_us_per_tok, 1e-9);
+
+        t5.row({std::to_string(ctx),
+                Table::num(c.append_us_per_tok, 2),
+                Table::num(c.cached_us_per_tok, 1),
+                Table::num(c.repack_us_per_tok, 1),
+                Table::num(c.repack_us_per_tok / cached_us, 1),
+                Table::num(1e6 / cached_us, 0)});
+        json.openObject();
+        json.field("ctx", static_cast<int64_t>(ctx));
+        json.field("steps", static_cast<int64_t>(serve_steps));
+        json.field("append_us_per_tok", c.append_us_per_tok);
+        json.field("cached_us_per_tok", c.cached_us_per_tok);
+        json.field("repack_us_per_tok", c.repack_us_per_tok);
+        json.field("repack_vs_cached",
+                   c.repack_us_per_tok / cached_us);
+        json.field("decode_tok_per_s", 1e6 / cached_us);
+        json.close();
+    }
+    json.close(true);
+    t5.print();
 
     json.field("checksum", checksum);
     json.close();

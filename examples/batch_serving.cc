@@ -1,16 +1,20 @@
 /**
  * @file
- * Batched serving: simulate a mixed fleet of attention requests — the
- * shape of traffic a deployed PADE device sees — through the
- * multi-threaded batch runtime.
+ * Continuous-batching serving demo: a Poisson arrival trace of mixed
+ * prefill+decode requests served through the incremental KV-cache
+ * engine (`ContinuousBatcher` on the shared `ThreadPool`).
  *
- *   $ ./batch_serving [--requests 24] [--threads 0] [--seed 42]
+ *   $ ./batch_serving [--requests 24] [--rate 200] [--slots 4]
+ *                     [--threads 0] [--seed 42]
  *
- * The batch mixes prefill and decode across the paper's benchmark
- * models and datasets. The same batch runs twice, on 1 worker and on
- * all cores, to show that (a) the aggregate is bit-for-bit identical
- * regardless of thread count, and (b) the wall-clock scales with the
- * machine.
+ * The same trace is served twice — on 1 worker and on all cores — to
+ * show that (a) every decoded token is bit-for-bit identical
+ * regardless of thread count (the per-session computation is
+ * sequential and seeded; only latency is a host measurement), and
+ * (b) wall-clock and tail latency improve with the machine.
+ *
+ * Exit status is nonzero if the two runs' token checksums diverge or
+ * any request fails to finish, so CI can smoke-test the scheduler.
  */
 
 #include <algorithm>
@@ -19,109 +23,97 @@
 #include <vector>
 
 #include "bench/common.h"
-#include "runtime/batch_driver.h"
-#include "runtime/thread_pool.h"
+#include "serving/continuous_batcher.h"
+#include "workload/generator.h"
 
 using namespace pade;
 using namespace pade::bench;
-
-namespace {
-
-/** A rotating mix of the paper's serving-relevant workloads. */
-std::vector<SimRequest>
-buildFleet(int n, uint64_t seed)
-{
-    struct Mix
-    {
-        ModelConfig model;
-        DatasetConfig ds;
-        bool decode;
-    };
-    const std::vector<Mix> mixes = {
-        {llama2_7b(), dsMmlu(), false},
-        {llama3_8b(), dsWikitext2(), false},
-        {qwen_7b(), dsMbpp(), false},
-        {llama2_7b(), dsDolly(), true},
-        {llama3_8b(), dsPg19(), true},
-    };
-    std::vector<SimRequest> fleet;
-    fleet.reserve(static_cast<size_t>(n));
-    for (int i = 0; i < n; i++) {
-        const Mix &m = mixes[static_cast<size_t>(i) % mixes.size()];
-        SimRequest req{m.model, m.ds};
-        req.decode = m.decode;
-        req.decode_steps = m.decode ? 64 : 1;
-        req.seed = seed + static_cast<uint64_t>(i);
-        req.max_sim_seq = 1024;
-        fleet.push_back(req);
-    }
-    return fleet;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     Cli cli(argc, argv);
     const int n = static_cast<int>(cli.getInt("requests", 24));
+    const double rate = cli.getDouble("rate", 200.0);
+    const int slots = static_cast<int>(cli.getInt("slots", 4));
     const int threads = static_cast<int>(cli.getInt("threads", 0));
     const uint64_t seed =
         static_cast<uint64_t>(cli.getInt("seed", 42));
-    banner("Batched serving on the PADE batch runtime");
+    banner("Continuous batching on the PADE serving engine");
 
-    const std::vector<SimRequest> fleet = buildFleet(n, seed);
-    const ArchConfig arch;
+    TraceSpec ts;
+    ts.num_requests = n;
+    ts.rate_per_s = rate;
+    ts.prompt_min = 64;
+    ts.prompt_max = 512;
+    ts.decode_min = 8;
+    ts.decode_max = 48;
+    ts.seed = seed;
+    const std::vector<ServingRequest> trace = poissonArrivalTrace(ts);
 
-    const BatchResult seq =
-        BatchDriver(BatchOptions{.threads = 1}).run(arch, fleet);
+    BatcherOptions opt;
+    opt.max_active = slots;
+    opt.head_dim = 64;
+    opt.prefill_chunk = 128;
+
+    opt.threads = 1;
+    const ServingReport seq = ContinuousBatcher(opt).run(trace);
     const int workers =
         threads > 0 ? threads : ThreadPool::hardwareThreads();
-    const BatchResult par =
-        BatchDriver(BatchOptions{.threads = workers}).run(arch, fleet);
+    opt.threads = workers;
+    const ServingReport par = ContinuousBatcher(opt).run(trace);
 
     Table t;
-    t.header({"#", "model", "dataset", "mode", "sim time (us)",
-              "energy (uJ)", "keep%", "mass"});
-    for (size_t i = 0; i < par.results.size(); i++) {
-        const RequestResult &r = par.results[i];
-        if (!r.ok) {
-            t.row({std::to_string(i), fleet[i].model.name,
-                   fleet[i].dataset.name, "FAILED", r.error, "", "",
-                   ""});
-            continue;
-        }
-        const RunMetrics &m = r.outcome.total;
-        t.row({std::to_string(i), fleet[i].model.name,
-               fleet[i].dataset.name,
-               fleet[i].decode ? "decode" : "prefill",
-               Table::num(m.time_ns / 1e3, 1),
-               Table::num(m.energy.total() / 1e6, 1),
-               Table::pct(m.prune.keepRate()),
-               Table::num(r.outcome.retained_mass, 3)});
+    t.header({"#", "arrive ms", "prompt", "steps", "queue ms",
+              "ttft ms", "latency ms"});
+    for (std::size_t i = 0; i < par.sessions.size(); i++) {
+        const SessionStats &s = par.sessions[i];
+        t.row({std::to_string(i), Table::num(s.arrival_ms, 1),
+               std::to_string(s.prompt_len),
+               std::to_string(s.decode_steps),
+               Table::num(s.admit_ms - s.arrival_ms, 1),
+               Table::num(s.first_token_ms - s.arrival_ms, 1),
+               Table::num(s.finish_ms - s.arrival_ms, 1)});
     }
     t.print();
 
-    const bool identical =
-        seq.aggregate.time_ns == par.aggregate.time_ns &&
-        seq.aggregate.energy.total() == par.aggregate.energy.total() &&
-        seq.aggregate.dram_bytes == par.aggregate.dram_bytes;
-    std::printf(
-        "\nfleet: %d requests, %d ok, %d failed; aggregate sim time "
-        "%.2f ms, energy %.2f mJ, DRAM %.1f MB, min retained mass "
-        "%.3f\n",
-        n, par.completed, par.failed, par.aggregate.time_ns / 1e6,
-        par.aggregate.energy.total() / 1e9,
-        static_cast<double>(par.aggregate.dram_bytes) / 1e6,
-        par.retained_mass_min);
-    std::printf("host wall-clock: sequential %.1f ms, %d workers "
-                "%.1f ms (%.2fx); aggregates %s across thread "
-                "counts\n",
-                seq.wall_ms, workers, par.wall_ms,
+    auto emitReport = [](const char *name, const ServingReport &r) {
+        std::printf(
+            "%s: %llu prefill + %llu decode tokens, %d rounds, "
+            "peak %d sessions / %.1f MB KV; decode %.0f tok/s; "
+            "latency p50/p95/p99 = %.1f/%.1f/%.1f ms, "
+            "ttft p50/p99 = %.1f/%.1f ms\n",
+            name,
+            static_cast<unsigned long long>(r.tokens_prefilled),
+            static_cast<unsigned long long>(r.tokens_decoded),
+            r.rounds, r.peak_active,
+            static_cast<double>(r.peak_cache_bytes) / 1e6,
+            r.decode_tok_per_s, r.latency_ms.p50, r.latency_ms.p95,
+            r.latency_ms.p99, r.ttft_ms.p50, r.ttft_ms.p99);
+    };
+    std::printf("\n");
+    emitReport("1 worker ", seq);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%d workers", workers);
+    emitReport(buf, par);
+
+    // Real completion gate: every prompt token prefilled and every
+    // requested token decoded, in both runs, per the trace itself.
+    uint64_t want_prefill = 0;
+    uint64_t want_decode = 0;
+    for (const ServingRequest &r : trace) {
+        want_prefill += static_cast<uint64_t>(r.prompt_len);
+        want_decode += static_cast<uint64_t>(r.decode_steps);
+    }
+    const bool identical = seq.checksum == par.checksum;
+    const bool complete = par.tokens_decoded == want_decode &&
+        seq.tokens_decoded == want_decode &&
+        par.tokens_prefilled == want_prefill &&
+        seq.tokens_prefilled == want_prefill;
+    std::printf("\nwall-clock: %.1f ms -> %.1f ms (%.2fx); token "
+                "streams %s across thread counts\n",
+                seq.wall_ms, par.wall_ms,
                 seq.wall_ms / std::max(par.wall_ms, 1e-9),
                 identical ? "bit-identical" : "DIVERGED");
-    // Nonzero on divergence OR any failed request, so scripted runs
-    // (CI smoke test) catch a broken simulator, not just a
-    // nondeterministic one.
-    return (identical && par.failed == 0 && seq.failed == 0) ? 0 : 1;
+    return (identical && complete) ? 0 : 1;
 }

@@ -1,14 +1,32 @@
 /**
  * @file
- * Long-context autoregressive decoding (the paper's §VI-F scenario):
- * PADE streams each head's KV history bit-serially and terminates
- * early, so per-token energy barely grows with context length, while
- * dense decoding pays the full KV sweep every step.
+ * Long-context autoregressive decoding (the paper's §VI-F scenario),
+ * in two views:
  *
- *   $ ./long_context_decode [--steps 4] [--max-seq 16384]
+ *  1. the modelled accelerator: per-token time/energy/DRAM of PADE
+ *     vs. dense decoding at growing context length;
+ *  2. the host serving engine: the same decode loop actually executed
+ *     through `KvCache` + `DecodeEngine`, comparing the incremental
+ *     append-only cache against re-packing the full KV history every
+ *     token (what the seed code effectively did).
+ *
+ * Calibration invariant: the operating point is calibrated ONCE and
+ * shared across context lengths. `calibrateAlpha` caps its
+ * calibration head at min(seq, max_sim_seq, 8192) keys, and alpha
+ * tracks the *score distribution* (model concentration, dataset
+ * locality) — not the context length; the generator even separates
+ * vital tokens slightly more at longer contexts, so a fixed-context
+ * calibration is conservative. The seed version of this example
+ * re-calibrated per context with identical knobs — two of its three
+ * searches ran on bit-identical capped inputs — which tripled the
+ * example's startup cost for no change in alpha.
+ *
+ *   $ ./long_context_decode [--steps 8] [--max-seq 16384] [--seed 2]
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench/common.h"
 
@@ -19,9 +37,22 @@ int
 main(int argc, char **argv)
 {
     Cli cli(argc, argv);
-    const int steps = static_cast<int>(cli.getInt("steps", 4));
+    const int steps = static_cast<int>(cli.getInt("steps", 8));
+    const uint64_t seed = static_cast<uint64_t>(cli.getInt("seed", 2));
+    const int max_seq =
+        static_cast<int>(cli.getInt("max-seq", 16384));
 
-    Table t("per-token decode attention cost (Llama2-7B)");
+    // ------------------------------------------------------------------
+    // Calibration, hoisted: one operating-point search shared by every
+    // context length below (see the invariant in the file comment).
+    // ------------------------------------------------------------------
+    SimRequest calib_req{llama2_7b(), {"ctx", max_seq, "longctx", 0.7}};
+    calib_req.decode = true;
+    calib_req.seed = seed;
+    calib_req.max_sim_seq = max_seq;
+    const OperatingPoints pts = calibratePoints(calib_req);
+
+    Table t("per-token decode attention cost (Llama2-7B, modelled)");
     t.header({"context", "design", "time/tok (us)", "energy/tok (uJ)",
               "DRAM/tok (MB)", "dram%"});
 
@@ -29,11 +60,9 @@ main(int argc, char **argv)
         SimRequest req{llama2_7b(), {"ctx", s, "longctx", 0.7}};
         req.decode = true;
         req.decode_steps = steps;
-        req.seed = cli.getInt("seed", 2);
-        req.max_sim_seq = static_cast<int>(cli.getInt("max-seq",
-                                                      16384));
+        req.seed = seed;
+        req.max_sim_seq = max_seq;
 
-        const OperatingPoints pts = calibratePoints(req);
         const SimOutcome sparse = runPade(ArchConfig{}, req,
                                           pts.alpha_standard);
         ArchConfig dense_cfg;
@@ -55,5 +84,44 @@ main(int argc, char **argv)
     std::printf("DRAM dominates decode energy (paper: >85%%); PADE's "
                 "per-token cost grows far slower with context than "
                 "dense decoding.\n");
+
+    // ------------------------------------------------------------------
+    // The serving engine actually decoding on this host: incremental
+    // KvCache vs. full re-pack per token.
+    // ------------------------------------------------------------------
+    PadeConfig cfg;
+    cfg.alpha = pts.alpha_standard;
+    cfg.radius = kCalibRadius;
+
+    Table ts("host decode: incremental KvCache vs per-token re-pack");
+    ts.header({"context", "append us/tok", "cached us/tok",
+               "repack us/tok", "repack/", "keep%", "pages", "KV MB"});
+    for (int ctx : {2048, 4096, 8192}) {
+        if (ctx > max_seq)
+            continue;
+        ServingDecodePoint pt;
+        pt.ctx = ctx;
+        pt.steps = steps;
+        pt.locality = 0.7;
+        pt.seed = seed;
+        const ServingDecodeCost r = measureServingDecode(pt, cfg);
+        ts.row({std::to_string(ctx),
+                Table::num(r.append_us_per_tok, 2),
+                Table::num(r.cached_us_per_tok, 1),
+                Table::num(r.repack_us_per_tok, 1),
+                Table::num(r.repack_us_per_tok /
+                               std::max(r.cached_us_per_tok, 1e-9),
+                           1),
+                Table::pct(r.keep_rate), std::to_string(r.pages),
+                Table::num(static_cast<double>(r.cache_bytes) / 1e6,
+                           1)});
+    }
+    ts.print();
+    std::printf("The append-only cache packs one token per step "
+                "(O(bits*head_dim), context-independent), so a "
+                "cached step costs just the guarded scan both paths "
+                "share; re-packing pays the whole history again "
+                "every token, an overhead that keeps widening with "
+                "context (see the repack/ column).\n");
     return 0;
 }

@@ -1,0 +1,38 @@
+#include "arch/run_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace pade {
+
+namespace {
+
+/** Nearest-rank: the ceil(q * n)-th smallest sample (1-based). */
+double
+nearestRank(const std::vector<double> &sorted, double q)
+{
+    const std::size_t n = sorted.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    rank = std::clamp<std::size_t>(rank, 1, n);
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+Percentiles
+Percentiles::of(std::span<const double> samples)
+{
+    Percentiles p;
+    if (samples.empty())
+        return p;
+    std::vector<double> sorted(samples.begin(), samples.end());
+    std::sort(sorted.begin(), sorted.end());
+    p.p50 = nearestRank(sorted, 0.50);
+    p.p95 = nearestRank(sorted, 0.95);
+    p.p99 = nearestRank(sorted, 0.99);
+    return p;
+}
+
+} // namespace pade

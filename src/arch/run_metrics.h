@@ -9,11 +9,33 @@
 #define PADE_ARCH_RUN_METRICS_H
 
 #include <cstdint>
+#include <span>
 
 #include "core/pade_attention.h"
 #include "energy/energy_model.h"
 
 namespace pade {
+
+/**
+ * Tail-latency summary of a sample set (nearest-rank percentiles).
+ * Serving metrics are distribution-shaped — a mean hides the tail the
+ * paper's long-context decode scenario is about — so the batch runtime
+ * and the continuous batcher report p50/p95/p99 alongside the totals.
+ */
+struct Percentiles
+{
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+
+    /**
+     * Nearest-rank percentiles of @p samples (order irrelevant; an
+     * empty set yields all zeros). p99 of n samples is the
+     * ceil(0.99 * n)-th smallest — the conventional nearest-rank
+     * definition, so p100 would be the maximum.
+     */
+    static Percentiles of(std::span<const double> samples);
+};
 
 /** Outcome of simulating one attention workload on one design. */
 struct RunMetrics

@@ -12,26 +12,40 @@ namespace pade {
 std::vector<int>
 istaScanOrder(int seq_len, int tile, bool head_tail)
 {
+    std::vector<int> order;
+    istaScanOrderInto(seq_len, tile, head_tail, order);
+    return order;
+}
+
+void
+istaScanOrderInto(int seq_len, int tile, bool head_tail,
+                  std::vector<int> &out)
+{
     assert(tile > 0);
     const int num_tiles = (seq_len + tile - 1) / tile;
-    std::vector<int> tiles;
-    if (head_tail) {
-        tiles = headTailOrder(num_tiles);
-    } else {
-        tiles.resize(num_tiles);
-        for (int t = 0; t < num_tiles; t++)
-            tiles[t] = t;
-    }
-
-    std::vector<int> order;
-    order.reserve(seq_len);
-    for (int t : tiles) {
+    out.clear();
+    out.reserve(seq_len);
+    const auto pushTile = [&](int t) {
         const int lo = t * tile;
         const int hi = std::min(seq_len, lo + tile);
         for (int j = lo; j < hi; j++)
-            order.push_back(j);
+            out.push_back(j);
+    };
+    if (!head_tail) {
+        for (int t = 0; t < num_tiles; t++)
+            pushTile(t);
+        return;
     }
-    return order;
+    // headTailOrder()'s interleave, walked directly so this path is
+    // genuinely allocation-free once `out` has capacity (the decode
+    // engine's per-token contract).
+    int head = 0;
+    int tail = num_tiles - 1;
+    bool take_head = true;
+    while (head <= tail) {
+        pushTile(take_head ? head++ : tail--);
+        take_head = !take_head;
+    }
 }
 
 PadeResult

@@ -132,6 +132,14 @@ struct PadeResult
 std::vector<int> istaScanOrder(int seq_len, int tile, bool head_tail);
 
 /**
+ * istaScanOrder() written into a reusable buffer — the form the
+ * incremental decode engine calls once per step, so the order vector
+ * stops allocating after the first step at a given context length.
+ */
+void istaScanOrderInto(int seq_len, int tile, bool head_tail,
+                       std::vector<int> &out);
+
+/**
  * Run PADE sparse attention on one quantized head.
  *
  * Exactness contract: keys that survive all bit planes have exact

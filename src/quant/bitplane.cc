@@ -23,34 +23,55 @@ assertPlaneAligned(const uint64_t *p)
 } // namespace
 
 BitPlaneSet::BitPlaneSet(const MatrixI8 &m, int bits)
-    : rows_(m.rows()), cols_(m.cols()), bits_(bits),
-      words_((m.cols() + 63) / 64),
+    : BitPlaneSet(m.cols(), bits, m.rows())
+{
+    for (int row = 0; row < m.rows(); row++)
+        appendToken(m.row(row));
+}
+
+BitPlaneSet::BitPlaneSet(int cols, int bits, int capacity_rows)
+    : cols_(cols), bits_(bits), words_((cols + 63) / 64),
       stride_(planeStrideWords(words_))
 {
     assert(bits_ >= 2 && bits_ <= 8);
-    storage_.assign(static_cast<size_t>(rows_) * bits_ * stride_, 0);
-    popcounts_.assign(static_cast<size_t>(rows_) * bits_, 0);
+    assert(cols_ >= 0 && capacity_rows >= 0);
+    storage_.reserve(static_cast<std::size_t>(capacity_rows) * bits_ *
+                     stride_);
+    popcounts_.reserve(static_cast<std::size_t>(capacity_rows) * bits_);
+}
 
+void
+BitPlaneSet::appendToken(std::span<const int8_t> row)
+{
+    assert(static_cast<int>(row.size()) == cols_);
     const int lo = -(1 << (bits_ - 1));
     const int hi = (1 << (bits_ - 1)) - 1;
     (void)lo;
     (void)hi;
 
-    for (int row = 0; row < rows_; row++) {
-        for (int col = 0; col < cols_; col++) {
-            const int v = m.at(row, col);
-            assert(v >= lo && v <= hi);
-            // Two's complement over the low `bits_` bits represents v
-            // exactly when it is in range.
-            const uint8_t u = static_cast<uint8_t>(v) &
-                static_cast<uint8_t>((1u << bits_) - 1);
-            for (int r = 0; r < bits_; r++) {
-                const int bitpos = bits_ - 1 - r;
-                if ((u >> bitpos) & 1u) {
-                    storage_[planeIndex(row, r) + col / 64] |=
-                        1ULL << (col % 64);
-                    popcounts_[static_cast<size_t>(row) * bits_ + r]++;
-                }
+    // Grow by one row block (bits_ planes of stride_ words each);
+    // within the reserved capacity this never reallocates, and the new
+    // words start zeroed so the alignment/zero-padding storage
+    // contract holds for the appended row too.
+    const int row_idx = rows_++;
+    storage_.resize(storage_.size() +
+                        static_cast<std::size_t>(bits_) * stride_,
+                    0);
+    popcounts_.resize(popcounts_.size() + bits_, 0);
+
+    for (int col = 0; col < cols_; col++) {
+        const int v = row[col];
+        assert(v >= lo && v <= hi);
+        // Two's complement over the low `bits_` bits represents v
+        // exactly when it is in range.
+        const uint8_t u = static_cast<uint8_t>(v) &
+            static_cast<uint8_t>((1u << bits_) - 1);
+        for (int r = 0; r < bits_; r++) {
+            const int bitpos = bits_ - 1 - r;
+            if ((u >> bitpos) & 1u) {
+                storage_[planeIndex(row_idx, r) + col / 64] |=
+                    1ULL << (col % 64);
+                popcounts_[static_cast<size_t>(row_idx) * bits_ + r]++;
             }
         }
     }

@@ -73,6 +73,26 @@ class BitPlaneSet
      */
     explicit BitPlaneSet(const MatrixI8 &m, int bits = 8);
 
+    /**
+     * Empty set over @p cols columns, ready for incremental
+     * appendToken() growth (the KV-cache construction path). When
+     * @p capacity_rows > 0 the backing store is reserved up front, so
+     * appends up to that capacity never reallocate — the fixed-page
+     * contract src/serving/kv_cache.h builds on.
+     */
+    BitPlaneSet(int cols, int bits, int capacity_rows);
+
+    /**
+     * Append one token's @p row as a new bottom row, packing only that
+     * row's bits: O(bits * cols) work, independent of the rows already
+     * stored. Rows packed this way are bit-identical (plane words,
+     * popcounts, padding) to the same rows packed by the matrix
+     * constructor — the invariant the incremental-decode parity tests
+     * enforce. @p row must hold exactly numCols() values in the
+     * bit-width's range.
+     */
+    void appendToken(std::span<const int8_t> row);
+
     int numRows() const { return rows_; }
     int numCols() const { return cols_; }
     int numPlanes() const { return bits_; }

@@ -56,6 +56,7 @@ BatchDriver::run(const std::vector<BatchItem> &items) const
             if (opt_.seed_base != 0)
                 item.req.seed = seedFor(static_cast<std::size_t>(i));
             RequestResult &slot = out.results[static_cast<std::size_t>(i)];
+            const auto req_t0 = std::chrono::steady_clock::now();
             try {
                 slot.outcome = sim_(item.arch, item.req);
                 slot.ok = true;
@@ -64,11 +65,15 @@ BatchDriver::run(const std::vector<BatchItem> &items) const
             } catch (...) {
                 slot.error = "unknown exception";
             }
+            slot.wall_ms = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - req_t0).count();
         });
     }
 
     // Aggregation runs after the barrier, in index order, so the
     // totals do not depend on worker interleaving.
+    std::vector<double> service_ms;
+    service_ms.reserve(out.results.size());
     for (const RequestResult &r : out.results) {
         if (!r.ok) {
             out.failed++;
@@ -76,9 +81,11 @@ BatchDriver::run(const std::vector<BatchItem> &items) const
         }
         out.completed++;
         out.aggregate += r.outcome.total;
+        service_ms.push_back(r.wall_ms);
         if (r.outcome.retained_mass < out.retained_mass_min)
             out.retained_mass_min = r.outcome.retained_mass;
     }
+    out.latency_ms = Percentiles::of(service_ms);
 
     out.wall_ms = std::chrono::duration<double, std::milli>(
         std::chrono::steady_clock::now() - t0).count();

@@ -27,6 +27,7 @@
 
 #include "arch/arch_config.h"
 #include "arch/driver.h"
+#include "arch/run_metrics.h"
 
 namespace pade {
 
@@ -57,6 +58,9 @@ struct RequestResult
     SimOutcome outcome;
     bool ok = false;
     std::string error;  //!< exception message when !ok
+    /** Host wall-clock this request spent simulating (its own work
+     *  only, not queueing — measured inside the worker task). */
+    double wall_ms = 0.0;
 };
 
 /** Aggregate of one batch run. */
@@ -70,6 +74,12 @@ struct BatchResult
     /** Minimum accuracy proxy across successful requests. */
     double retained_mass_min = 1.0;
     double wall_ms = 0.0;   //!< host wall-clock of the batch
+    /**
+     * Per-request service-time percentiles (successful requests'
+     * RequestResult::wall_ms). The sample values are host timings and
+     * thus noisy; the set of sampled requests is deterministic.
+     */
+    Percentiles latency_ms;
 };
 
 /**

@@ -1,0 +1,240 @@
+#include "serving/continuous_batcher.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "common/rng.h"
+#include "runtime/thread_pool.h"
+#include "serving/decode_engine.h"
+#include "serving/kv_cache.h"
+
+namespace pade {
+
+namespace {
+
+/** Mix one 32-bit word into a running checksum. */
+uint64_t
+mixChecksum(uint64_t acc, uint32_t word)
+{
+    uint64_t state = acc + word;
+    return splitMix64(state);
+}
+
+/** One in-flight request: its workload, KV state, and timeline. */
+struct Session
+{
+    Session(const ServingRequest &r, std::size_t idx, double admit,
+            const BatcherOptions &opt)
+        : req(&r), index(idx), admit_ms(admit), engine(opt.pade)
+    {
+    }
+
+    const ServingRequest *req;
+    std::size_t index;
+    double admit_ms;
+    double first_token_ms = -1.0;
+    int prefilled = 0;
+    int decoded = 0;
+    uint64_t checksum = 0;
+
+    std::optional<QuantizedHead> head;
+    std::optional<KvCache> cache;
+    DecodeEngine engine;
+    std::vector<float> out;
+
+    /**
+     * Finished = materialized, whole prompt prefilled, every token
+     * decoded. The prefill clause matters for decode_steps == 0
+     * (prefill-only) requests, which must still do their prompt work
+     * before eviction.
+     */
+    bool
+    done() const
+    {
+        return head.has_value() && prefilled >= req->prompt_len &&
+            decoded >= req->decode_steps;
+    }
+};
+
+/**
+ * Advance one session by one scheduling unit. Runs on a pool worker;
+ * sessions are independent, so no synchronization is needed.
+ */
+void
+stepSession(Session &s, const BatcherOptions &opt)
+{
+    const ServingRequest &req = *s.req;
+
+    if (!s.head) {
+        // Unit 1: materialize the session workload. The head spans
+        // prompt + decode positions; key/value rows stream into the
+        // cache below, query row t drives decode step t. Quantization
+        // scales are fixed once here, so incremental packing is
+        // bit-identical to packing the full history at any step.
+        WorkloadSpec spec;
+        spec.seq_len = req.prompt_len + req.decode_steps;
+        spec.query_len = req.decode_steps;
+        spec.head_dim = opt.head_dim;
+        spec.concentration = opt.concentration;
+        spec.locality = opt.locality;
+        spec.seed = req.seed;
+        s.head.emplace(quantizeHead(generateHead(spec), opt.bits));
+
+        KvCacheConfig kc;
+        kc.head_dim = opt.head_dim;
+        kc.bits = opt.bits;
+        kc.page_tokens = opt.page_tokens;
+        kc.subgroup = opt.pade.subgroup;
+        kc.muxes = opt.pade.muxes;
+        kc.v_scale = s.head->v.params.scale;
+        s.cache.emplace(kc);
+        s.out.resize(static_cast<std::size_t>(opt.head_dim));
+        return;
+    }
+
+    if (s.prefilled < req.prompt_len) {
+        // Unit 2..k: prefill one chunk of prompt tokens (pack-only;
+        // chunking keeps long prompts from starving decode slots).
+        const int n = std::min(opt.prefill_chunk,
+                               req.prompt_len - s.prefilled);
+        for (int t = 0; t < n; t++) {
+            const int pos = s.prefilled + t;
+            s.cache->appendToken(s.head->k.values.row(pos),
+                                 s.head->v.values.row(pos));
+        }
+        s.prefilled += n;
+        return;
+    }
+
+    // Decode one token: append its KV row, then run the guarded
+    // incremental attention step over the whole cache.
+    const int t = s.decoded;
+    const int pos = req.prompt_len + t;
+    s.cache->appendToken(s.head->k.values.row(pos),
+                         s.head->v.values.row(pos));
+    s.engine.step(*s.cache, s.head->q.values.row(t),
+                  s.head->logit_scale, s.out);
+    for (float v : s.out)
+        s.checksum = mixChecksum(s.checksum, std::bit_cast<uint32_t>(v));
+    s.decoded++;
+}
+
+} // namespace
+
+ContinuousBatcher::ContinuousBatcher(BatcherOptions opt) : opt_(opt)
+{
+    assert(opt_.max_active > 0 && opt_.prefill_chunk > 0);
+}
+
+ServingReport
+ContinuousBatcher::run(std::span<const ServingRequest> trace) const
+{
+    const auto run_t0 = std::chrono::steady_clock::now();
+
+    ServingReport report;
+    report.sessions.resize(trace.size());
+    for (std::size_t i = 0; i + 1 < trace.size(); i++)
+        assert(trace[i].arrival_ms <= trace[i + 1].arrival_ms);
+
+    ThreadPool pool(opt_.threads);
+    std::vector<std::unique_ptr<Session>> active;
+    active.reserve(static_cast<std::size_t>(opt_.max_active));
+    std::size_t next = 0;
+    double now_ms = 0.0;
+
+    std::vector<double> latency;
+    std::vector<double> ttft;
+    latency.reserve(trace.size());
+    ttft.reserve(trace.size());
+
+    while (next < trace.size() || !active.empty()) {
+        // Admit every arrived request while slots are free.
+        while (next < trace.size() &&
+               static_cast<int>(active.size()) < opt_.max_active &&
+               trace[next].arrival_ms <= now_ms) {
+            active.push_back(std::make_unique<Session>(
+                trace[next], next, now_ms, opt_));
+            next++;
+        }
+        report.peak_active = std::max(
+            report.peak_active, static_cast<int>(active.size()));
+
+        if (active.empty()) {
+            // Idle: jump the virtual clock to the next arrival.
+            assert(next < trace.size());
+            now_ms = std::max(now_ms, trace[next].arrival_ms);
+            continue;
+        }
+
+        // One scheduling round: every active session advances by one
+        // unit, concurrently. The round's host wall time advances the
+        // virtual clock, so latency reflects actual machine speed and
+        // parallelism.
+        const auto t0 = std::chrono::steady_clock::now();
+        parallelFor(pool, static_cast<int>(active.size()), [&](int i) {
+            stepSession(*active[static_cast<std::size_t>(i)], opt_);
+        });
+        now_ms += std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0).count();
+        report.rounds++;
+
+        // Post-round bookkeeping on the scheduler thread.
+        std::size_t cache_bytes = 0;
+        for (auto &s : active) {
+            if (s->decoded >= 1 && s->first_token_ms < 0.0)
+                s->first_token_ms = now_ms;
+            if (s->cache)
+                cache_bytes += s->cache->bytesUsed();
+        }
+        report.peak_cache_bytes =
+            std::max(report.peak_cache_bytes, cache_bytes);
+
+        // Evict finished sessions: record the timeline, free the KV
+        // pages, release the slot.
+        for (std::size_t i = 0; i < active.size();) {
+            Session &s = *active[i];
+            if (!s.done()) {
+                i++;
+                continue;
+            }
+            SessionStats &st = report.sessions[s.index];
+            st.arrival_ms = s.req->arrival_ms;
+            st.admit_ms = s.admit_ms;
+            st.first_token_ms = s.first_token_ms;
+            st.finish_ms = now_ms;
+            st.prompt_len = s.req->prompt_len;
+            st.decode_steps = s.req->decode_steps;
+            st.checksum = s.checksum;
+
+            report.tokens_prefilled +=
+                static_cast<uint64_t>(s.prefilled);
+            report.tokens_decoded += static_cast<uint64_t>(s.decoded);
+            report.checksum ^= s.checksum;
+            latency.push_back(st.finish_ms - st.arrival_ms);
+            // Prefill-only sessions never decode a token; they count
+            // toward latency but not TTFT.
+            if (s.first_token_ms >= 0.0)
+                ttft.push_back(st.first_token_ms - st.arrival_ms);
+
+            active.erase(active.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+        }
+    }
+
+    report.latency_ms = Percentiles::of(latency);
+    report.ttft_ms = Percentiles::of(ttft);
+    report.makespan_ms = now_ms;
+    report.wall_ms = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - run_t0).count();
+    report.decode_tok_per_s = report.wall_ms > 0.0
+        ? static_cast<double>(report.tokens_decoded) /
+            (report.wall_ms / 1000.0)
+        : 0.0;
+    return report;
+}
+
+} // namespace pade

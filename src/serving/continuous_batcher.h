@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Continuous-batching serving loop over incremental decode sessions.
+ *
+ * The batcher turns the library from a per-head simulator into a
+ * request-level serving engine: requests arrive on a (Poisson) trace,
+ * are admitted into a bounded set of active *sessions*, and every
+ * scheduling round advances each active session by one unit of work —
+ * workload materialization, a prefill chunk, or one decoded token —
+ * fanned across a ThreadPool. Finished sessions are evicted
+ * immediately (their KV pages freed), opening the slot for the next
+ * queued request: the continuous-batching discipline, as opposed to
+ * static batching where a batch drains at the pace of its longest
+ * member.
+ *
+ * Each session owns a `KvCache` + `DecodeEngine` pair, so per-token
+ * work is the incremental O(bits * head_dim) append plus the guarded
+ * scan — never a re-pack of the history.
+ *
+ * Clock model: admission and latency run on a virtual clock that
+ * advances by each round's measured host wall time, and jumps forward
+ * to the next arrival when the engine is idle. Token *outputs* (and
+ * the report checksum) are bit-deterministic for any thread count —
+ * each session's computation is sequential and seeded — while latency
+ * *values* are host timings and therefore noisy; tests assert the
+ * former and only shape properties of the latter.
+ */
+
+#ifndef PADE_SERVING_CONTINUOUS_BATCHER_H
+#define PADE_SERVING_CONTINUOUS_BATCHER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/run_metrics.h"
+#include "core/pade_attention.h"
+#include "workload/generator.h"
+
+namespace pade {
+
+/** Scheduling and per-session workload knobs. */
+struct BatcherOptions
+{
+    int threads = 0;       //!< pool workers; 0 = hardware threads
+    int max_active = 4;    //!< concurrent sessions (slots)
+    int prefill_chunk = 64; //!< prompt tokens appended per round
+    int head_dim = 64;     //!< per-session attention head geometry
+    int bits = 8;
+    int page_tokens = 256; //!< KvCache page capacity
+    double concentration = 1.0; //!< workload-generator knobs
+    double locality = 0.5;
+    PadeConfig pade;       //!< decode algorithm configuration
+};
+
+/** Per-request timeline, index-aligned with the input trace. */
+struct SessionStats
+{
+    double arrival_ms = 0.0;
+    double admit_ms = 0.0;       //!< slot granted (queueing ends)
+    /** First decoded token done; -1 for prefill-only requests
+     *  (decode_steps == 0), which are excluded from ttft_ms. */
+    double first_token_ms = 0.0;
+    double finish_ms = 0.0;      //!< last token done, session evicted
+    int prompt_len = 0;
+    int decode_steps = 0;
+    uint64_t checksum = 0;       //!< mixed bits of every output token
+};
+
+/** Aggregate of one serving run. */
+struct ServingReport
+{
+    std::vector<SessionStats> sessions;
+    Percentiles latency_ms; //!< finish - arrival
+    Percentiles ttft_ms;    //!< time to first token
+    double wall_ms = 0.0;     //!< real host wall of the run loop
+    double makespan_ms = 0.0; //!< final virtual-clock value
+    uint64_t tokens_prefilled = 0;
+    uint64_t tokens_decoded = 0;
+    double decode_tok_per_s = 0.0; //!< decoded tokens / real wall
+    int rounds = 0;
+    int peak_active = 0;           //!< most simultaneous sessions
+    std::size_t peak_cache_bytes = 0; //!< max resident KV bytes
+    /** XOR of session checksums: thread-count invariant. */
+    uint64_t checksum = 0;
+};
+
+/**
+ * Runs serving traces; stateless between run() calls (options only).
+ */
+class ContinuousBatcher
+{
+  public:
+    explicit ContinuousBatcher(BatcherOptions opt = {});
+
+    /**
+     * Serve @p trace to completion. Arrival times must be
+     * non-decreasing (poissonArrivalTrace() guarantees it).
+     */
+    ServingReport run(std::span<const ServingRequest> trace) const;
+
+  private:
+    BatcherOptions opt_;
+};
+
+} // namespace pade
+
+#endif // PADE_SERVING_CONTINUOUS_BATCHER_H

@@ -1,0 +1,129 @@
+#include "serving/decode_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/bui.h"
+#include "core/guard_filter.h"
+#include "core/simd/qk_avx2.h"
+
+namespace pade {
+
+DecodeEngine::DecodeEngine(PadeConfig cfg) : cfg_(cfg)
+{
+}
+
+DecodeStep
+DecodeEngine::step(const KvCache &cache, std::span<const int8_t> q,
+                   float logit_scale, std::span<float> out)
+{
+    const KvCacheConfig &kc = cache.config();
+    const int s = cache.size();
+    const int h = kc.head_dim;
+    const int bits = kc.bits;
+    assert(static_cast<int>(q.size()) == h);
+    assert(static_cast<int>(out.size()) == h);
+    // The cached PlaneWork entries were computed with the cache's GSAT
+    // geometry; the stats are only comparable to padeAttention when
+    // the algorithm config agrees.
+    assert(cfg_.subgroup == kc.subgroup && cfg_.muxes == kc.muxes);
+
+    // Same per-call dispatch decision as padeAttention: config request
+    // + PADE_QK_KERNEL override + capability clamp.
+    const QkKernel kernel = resolveQkKernel(cfg_.qk_kernel);
+    const bool packed_qk = kernel != QkKernel::kScalar;
+    if (packed_qk)
+        qplanes_.assign(q);
+    const bool simd_qk = kernel == QkKernel::kSimd;
+    const simd::QPlaneView qview =
+        simd_qk ? qplanes_.simdView() : simd::QPlaneView{};
+
+    const BuiTable bui = computeBuiTable(q, bits);
+    GuardFilter guard(cfg_.alpha, cfg_.radius, logit_scale);
+
+    istaScanOrderInto(s, cfg_.tile_bc, cfg_.head_tail, order_);
+    planes_.assign(static_cast<std::size_t>(s), 0);
+    keep_.assign(static_cast<std::size_t>(s), 0);
+    retained_.clear();
+    retained_scores_.clear();
+
+    DecodeStep res;
+    res.keys = s;
+    const uint64_t planes_before = stats_.planes_processed;
+
+    // The padeAttention inner loop, with the global key index mapped
+    // onto (page, page-local row). A single query at the stream tail
+    // sees every cached token, so no causal skip applies.
+    for (int j : order_) {
+        const int page = cache.pageOf(j);
+        const int local = cache.rowOf(j);
+        const BitPlaneSet &kp = cache.pagePlanes(page);
+        const PlaneWork *wrow = cache.pageWork(page).data() +
+            static_cast<std::size_t>(local) * bits;
+        stats_.keys_total++;
+        stats_.planes_total += static_cast<uint64_t>(bits);
+
+        int64_t score = 0;
+        bool pruned = false;
+        for (int r = 0; r < bits; r++) {
+            score += simd_qk
+                ? static_cast<int64_t>(kp.planeWeight(r)) *
+                    simd::maskedSumAvx2(qview,
+                                        kp.plane(local, r).data(),
+                                        kp.wordsPerPlane())
+                : packed_qk ? planeDelta(qplanes_, kp, local, r)
+                            : planeDeltaScalar(q, kp, local, r);
+            planes_[static_cast<std::size_t>(j)] =
+                static_cast<uint8_t>(r + 1);
+            stats_.planes_processed++;
+
+            const PlaneWork &w = wrow[r];
+            stats_.ops_bs += static_cast<uint64_t>(w.selected_bs);
+            stats_.ops_naive += static_cast<uint64_t>(w.selected_naive);
+
+            guard.observe(score + bui.lower(r));
+            if (cfg_.guard_enabled &&
+                guard.shouldPrune(score + bui.upper(r))) {
+                pruned = true;
+                break;
+            }
+        }
+        if (!pruned) {
+            keep_[static_cast<std::size_t>(j)] = 1;
+            stats_.keys_retained++;
+            retained_.push_back(j);
+            retained_scores_.push_back(score);
+        }
+    }
+    stats_.threshold_updates += guard.updates();
+    res.retained = static_cast<int>(retained_.size());
+    res.planes = stats_.planes_processed - planes_before;
+
+    // ISTA value stage over the retained tokens, tiled by Bc in scan
+    // order — the identical float sequence to padeAttention's
+    // update(scores, vf, ids) path, with value rows gathered from the
+    // cache pages instead of one contiguous matrix.
+    softmax_.reset(h);
+    tile_scores_.resize(static_cast<std::size_t>(cfg_.tile_bc));
+    for (std::size_t base = 0; base < retained_.size();
+         base += static_cast<std::size_t>(cfg_.tile_bc)) {
+        const std::size_t hi =
+            std::min(retained_.size(),
+                     base + static_cast<std::size_t>(cfg_.tile_bc));
+        const std::size_t n = hi - base;
+        tile_rows_.resize(n);
+        for (std::size_t t = 0; t < n; t++) {
+            tile_scores_[t] = logit_scale *
+                static_cast<float>(retained_scores_[base + t]);
+            tile_rows_[t] = cache.valueRow(retained_[base + t]);
+        }
+        softmax_.update(
+            std::span<const float>(tile_scores_).first(n), tile_rows_);
+    }
+    stats_.max_updates += softmax_.maxUpdates();
+    stats_.rescale_ops += softmax_.rescaleOps();
+    softmax_.finalizeInto(out);
+    return res;
+}
+
+} // namespace pade

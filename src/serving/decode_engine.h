@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Single-query incremental PADE attention over a paged KV cache.
+ *
+ * One DecodeEngine owns a decode session's reusable state (packed
+ * query planes, online-softmax accumulator, scan-order / retained-id
+ * buffers) and runs the exact `padeAttention` algorithm — BSF plane
+ * streaming, BUI-GF guarded termination, ISTA stage-fused softmax·V —
+ * for one query row against every token in a `KvCache`.
+ *
+ * Exactness contract (enforced by tests/test_serving.cc for all three
+ * QK kernels): `step()` over a cache holding rows 0..S-1 produces the
+ * same output row, keep mask, planes-consumed trace, retained-id list,
+ * and PruneStats deltas, bit for bit, as a from-scratch
+ * `BitPlaneSet` pack of those rows plus a `padeAttention` call with a
+ * single query. The only difference is cost: the cache already holds
+ * the packed history and its PlaneWork table, so a step does
+ * O(S) scan work but zero re-packing.
+ *
+ * The kernel seam is the same as batch attention:
+ * `PadeConfig::qk_kernel` is resolved through `resolveQkKernel()`
+ * every step, so kScalar / kPopcount / kSimd (and the PADE_QK_KERNEL
+ * override) all apply unchanged.
+ */
+
+#ifndef PADE_SERVING_DECODE_ENGINE_H
+#define PADE_SERVING_DECODE_ENGINE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "attention/online_softmax.h"
+#include "core/pade_attention.h"
+#include "serving/kv_cache.h"
+
+namespace pade {
+
+/** Per-step accounting returned by DecodeEngine::step(). */
+struct DecodeStep
+{
+    int keys = 0;              //!< tokens scanned (cache size)
+    int retained = 0;          //!< tokens surviving the guard filter
+    uint64_t planes = 0;       //!< bit planes consumed this step
+};
+
+/**
+ * Reusable incremental decoder for one attention-head stream.
+ */
+class DecodeEngine
+{
+  public:
+    explicit DecodeEngine(PadeConfig cfg = {});
+
+    const PadeConfig &config() const { return cfg_; }
+
+    /**
+     * Run one guarded decode step: the query @p q (int8, head_dim
+     * values) attends over every cached token; the attention output
+     * lands in @p out (head_dim floats).
+     *
+     * @param logit_scale integer-score -> logit factor
+     *        (sQ * sK / sqrt(H), QuantizedHead::logit_scale)
+     */
+    DecodeStep step(const KvCache &cache, std::span<const int8_t> q,
+                    float logit_scale, std::span<float> out);
+
+    /** Pruning statistics accumulated across all steps. */
+    const PruneStats &stats() const { return stats_; }
+
+    /** Retained token ids of the last step, in ISTA scan order. */
+    std::span<const int> lastRetained() const { return retained_; }
+    /** Planes consumed per token last step: value r means planes
+     *  0..r-1 were consumed before retention/pruning (every token is
+     *  visited, so entries are >= 1 — matching padeAttention's
+     *  PadeResult::planes row for a single uncausal query). */
+    std::span<const uint8_t> lastPlanes() const { return planes_; }
+    /** Keep mask of the last step (1 = retained). */
+    std::span<const uint8_t> lastKeep() const { return keep_; }
+
+  private:
+    PadeConfig cfg_;
+    PruneStats stats_;
+
+    // Reusable per-step buffers: after the first step at a given
+    // context length, step() allocates nothing on the scan path.
+    QueryPlanes qplanes_;
+    OnlineSoftmaxRow softmax_{0};
+    std::vector<int> order_;
+    std::vector<int> retained_;
+    std::vector<int64_t> retained_scores_;
+    std::vector<uint8_t> planes_;
+    std::vector<uint8_t> keep_;
+    std::vector<float> tile_scores_;
+    std::vector<std::span<const float>> tile_rows_;
+};
+
+} // namespace pade
+
+#endif // PADE_SERVING_DECODE_ENGINE_H

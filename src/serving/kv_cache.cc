@@ -1,0 +1,68 @@
+#include "serving/kv_cache.h"
+
+namespace pade {
+
+KvCache::Page::Page(const KvCacheConfig &cfg)
+    : planes(cfg.head_dim, cfg.bits, cfg.page_tokens),
+      values(cfg.page_tokens, cfg.head_dim)
+{
+    work.reserve(static_cast<std::size_t>(cfg.page_tokens) * cfg.bits);
+}
+
+KvCache::KvCache(const KvCacheConfig &cfg) : cfg_(cfg)
+{
+    assert(cfg_.head_dim > 0 && cfg_.page_tokens > 0);
+    assert(cfg_.bits >= 2 && cfg_.bits <= 8);
+}
+
+void
+KvCache::appendToken(std::span<const int8_t> k_row,
+                     std::span<const int8_t> v_row)
+{
+    assert(static_cast<int>(k_row.size()) == cfg_.head_dim);
+    assert(static_cast<int>(v_row.size()) == cfg_.head_dim);
+
+    if (pages_.empty() ||
+        pages_.back().planes.numRows() == cfg_.page_tokens)
+        pages_.emplace_back(cfg_);
+    Page &page = pages_.back();
+
+    const int row = page.planes.numRows();
+    page.planes.appendToken(k_row);
+
+    // The exact float expression padeAttention's value stage sees
+    // (dequantize(): scale * int8), so incremental softmax
+    // accumulation is bit-identical to the batch path.
+    auto vout = page.values.row(row);
+    for (int d = 0; d < cfg_.head_dim; d++)
+        vout[d] = cfg_.v_scale * v_row[d];
+
+    // PlaneWork is query-independent: computing it here amortizes the
+    // per-call table rebuild padeAttention pays, once per token.
+    for (int r = 0; r < cfg_.bits; r++)
+        page.work.push_back(planeWork(page.planes, row, r,
+                                      cfg_.subgroup, cfg_.muxes));
+    tokens_++;
+}
+
+std::size_t
+KvCache::bytesUsed() const
+{
+    if (pages_.empty())
+        return 0;
+    // Pages allocate/reserve their full fixed capacity at creation
+    // (values eagerly, planes and work via reserve), so resident
+    // memory is a per-page constant. Read the plane geometry off a
+    // live page rather than re-deriving BitPlaneSet's layout — the
+    // stride is that class's implementation detail.
+    const BitPlaneSet &planes = pages_.front().planes;
+    const std::size_t per_page =
+        static_cast<std::size_t>(cfg_.page_tokens) *
+        (static_cast<std::size_t>(planes.numPlanes()) *
+             planes.planeStride() * sizeof(uint64_t) +
+         static_cast<std::size_t>(cfg_.head_dim) * sizeof(float) +
+         static_cast<std::size_t>(cfg_.bits) * sizeof(PlaneWork));
+    return pages_.size() * per_page;
+}
+
+} // namespace pade

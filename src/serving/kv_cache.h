@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Append-only bit-plane KV cache for incremental decoding.
+ *
+ * Autoregressive serving appends exactly one (key, value) row per
+ * decode step, but the seed code re-quantized and re-packed the entire
+ * KV history each step. This cache keeps the history resident across
+ * steps in fixed-capacity *pages*:
+ *
+ *  - keys live as `BitPlaneSet` pages grown with
+ *    `BitPlaneSet::appendToken()`, so packing a new token costs
+ *    O(bits * head_dim) regardless of the history length and is
+ *    bit-identical to a from-scratch pack of the same rows (the
+ *    storage contract the AVX2 QK backend relies on — 32-byte-aligned
+ *    plane rows with zero padding — holds page by page);
+ *  - values live as dequantized float rows (the exact
+ *    `scale * int8` floats `padeAttention`'s value stage consumes);
+ *  - the query-independent per-(token, plane) `PlaneWork` accounting
+ *    is computed once at append time instead of once per decode step
+ *    — amortizing what `padeAttention` rebuilds per call.
+ *
+ * Pages are fixed at `page_tokens` rows and reserved up front
+ * (`AlignedAllocator` storage), so an append never moves previously
+ * stored planes: spans handed out by the accessors stay valid across
+ * appendToken() calls. Pages live in a deque for stable addresses.
+ *
+ * Thread safety: none. One cache belongs to one decode session; the
+ * continuous batcher gives every session its own cache.
+ */
+
+#ifndef PADE_SERVING_KV_CACHE_H
+#define PADE_SERVING_KV_CACHE_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "core/bit_serial.h"
+#include "quant/bitplane.h"
+#include "tensor/matrix.h"
+
+namespace pade {
+
+/** Geometry and quantization parameters fixed at cache creation. */
+struct KvCacheConfig
+{
+    int head_dim = 128;
+    int bits = 8;          //!< key bit-plane width (2..8)
+    int page_tokens = 256; //!< tokens per page (fixed capacity)
+    /**
+     * GSAT sub-group geometry baked into the cached PlaneWork
+     * entries; must match the PadeConfig the decode engine runs with
+     * (asserted there).
+     */
+    int subgroup = 8;
+    int muxes = 4;
+    /** Value dequantization scale: float row = v_scale * int8 row. */
+    float v_scale = 1.0f;
+};
+
+/**
+ * Append-only paged KV store for one attention head's decode stream.
+ */
+class KvCache
+{
+  public:
+    explicit KvCache(const KvCacheConfig &cfg);
+
+    const KvCacheConfig &config() const { return cfg_; }
+
+    /** Tokens currently cached. */
+    int size() const { return tokens_; }
+    int numPages() const { return static_cast<int>(pages_.size()); }
+
+    /** Page holding token @p token. */
+    int
+    pageOf(int token) const
+    {
+        assert(token >= 0 && token < tokens_);
+        return token / cfg_.page_tokens;
+    }
+    /** Row of token @p token inside its page. */
+    int
+    rowOf(int token) const
+    {
+        assert(token >= 0 && token < tokens_);
+        return token % cfg_.page_tokens;
+    }
+
+    /**
+     * Append one token: pack the key row's bit planes into the tail
+     * page (opening a new page when full), dequantize the value row,
+     * and precompute the per-plane PlaneWork. O(bits * head_dim).
+     */
+    void appendToken(std::span<const int8_t> k_row,
+                     std::span<const int8_t> v_row);
+
+    /** Packed key planes of page @p page (page-local row indices). */
+    const BitPlaneSet &
+    pagePlanes(int page) const
+    {
+        assert(page >= 0 && page < numPages());
+        return pages_[static_cast<std::size_t>(page)].planes;
+    }
+
+    /** Dequantized value row of global token @p token. */
+    std::span<const float>
+    valueRow(int token) const
+    {
+        return pages_[static_cast<std::size_t>(pageOf(token))]
+            .values.row(rowOf(token));
+    }
+
+    /** Cached PlaneWork of (token, plane). */
+    const PlaneWork &
+    work(int token, int plane) const
+    {
+        assert(plane >= 0 && plane < cfg_.bits);
+        const Page &p = pages_[static_cast<std::size_t>(pageOf(token))];
+        return p.work[static_cast<std::size_t>(rowOf(token)) *
+                          cfg_.bits +
+                      plane];
+    }
+
+    /**
+     * All cached PlaneWork of page @p page: row r's planes start at
+     * offset r * bits. The decode scan fetches this once per key
+     * (alongside pagePlanes) instead of re-deriving (page, row) per
+     * plane.
+     */
+    std::span<const PlaneWork>
+    pageWork(int page) const
+    {
+        assert(page >= 0 && page < numPages());
+        return pages_[static_cast<std::size_t>(page)].work;
+    }
+
+    /**
+     * Resident bytes across all pages (planes + values + work
+     * table). Pages allocate their full fixed capacity up front, so
+     * this steps by one page worth of bytes per page_tokens appends.
+     */
+    std::size_t bytesUsed() const;
+
+  private:
+    struct Page
+    {
+        explicit Page(const KvCacheConfig &cfg);
+
+        BitPlaneSet planes;          //!< keys, page-local rows
+        MatrixF values;              //!< dequantized V rows
+        std::vector<PlaneWork> work; //!< used * bits entries
+    };
+
+    KvCacheConfig cfg_;
+    /** Deque: page addresses are stable across appends. */
+    std::deque<Page> pages_;
+    int tokens_ = 0;
+};
+
+} // namespace pade
+
+#endif // PADE_SERVING_KV_CACHE_H

@@ -1,5 +1,7 @@
 #include "workload/generator.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "attention/reference.h"
@@ -112,6 +114,43 @@ quantizeHead(const AttentionHead &head, int bits)
                          quantizeSymmetric(head.k, bits),
                          quantizeSymmetric(head.v, bits), bits,
                          head.scale);
+}
+
+std::vector<ServingRequest>
+poissonArrivalTrace(const TraceSpec &spec)
+{
+    assert(spec.num_requests >= 0 && spec.rate_per_s > 0.0);
+    assert(spec.prompt_min >= 1 && spec.prompt_max >= spec.prompt_min);
+    assert(spec.decode_min >= 1 && spec.decode_max >= spec.decode_min);
+
+    Rng rng(spec.seed);
+    std::vector<ServingRequest> trace;
+    trace.reserve(static_cast<std::size_t>(spec.num_requests));
+
+    const double log_lo = std::log(static_cast<double>(spec.prompt_min));
+    const double log_hi = std::log(static_cast<double>(spec.prompt_max));
+    double now_ms = 0.0;
+    for (int i = 0; i < spec.num_requests; i++) {
+        // Poisson process: exponential gaps at the given rate
+        // (rate_per_s requests/s = rate_per_s/1000 per ms).
+        now_ms += rng.exponential(spec.rate_per_s / 1000.0);
+
+        ServingRequest req;
+        req.arrival_ms = now_ms;
+        req.prompt_len = std::min(
+            spec.prompt_max,
+            static_cast<int>(std::exp(rng.uniform(log_lo, log_hi))));
+        req.prompt_len = std::max(spec.prompt_min, req.prompt_len);
+        req.decode_steps = static_cast<int>(
+            rng.range(spec.decode_min, spec.decode_max));
+        // Per-request workload seed: derived from (trace seed, index)
+        // only, so traces re-generate identically.
+        uint64_t state = spec.seed +
+            static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+        req.seed = splitMix64(state);
+        trace.push_back(req);
+    }
+    return trace;
 }
 
 double

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "quant/bitplane.h"
 #include "quant/quantizer.h"
@@ -87,6 +88,41 @@ QuantizedHead quantizeHead(const AttentionHead &head, int bits = 8);
  * workload-intrinsic upper bound on exploitable sparsity.
  */
 double oracleSparsity(const AttentionHead &head, double mass_epsilon);
+
+/**
+ * Specification of a synthetic serving trace: request arrivals follow
+ * a Poisson process (exponential inter-arrival gaps at @p rate_per_s),
+ * prompt lengths are log-uniform over [prompt_min, prompt_max] — the
+ * heavy-tailed mix production serving traces exhibit — and decode
+ * lengths are uniform over [decode_min, decode_max]. Fully determined
+ * by @p seed; the continuous batcher and examples/batch_serving
+ * consume the result.
+ */
+struct TraceSpec
+{
+    int num_requests = 32;
+    double rate_per_s = 200.0; //!< mean arrival rate
+    int prompt_min = 32;       //!< log-uniform prompt length bounds
+    int prompt_max = 256;
+    int decode_min = 8;        //!< uniform decode-step bounds
+    int decode_max = 32;
+    uint64_t seed = 1;
+};
+
+/** One serving request of a trace. */
+struct ServingRequest
+{
+    double arrival_ms = 0.0; //!< arrival offset from trace start
+    int prompt_len = 0;      //!< prompt tokens to prefill
+    int decode_steps = 0;    //!< tokens to generate
+    uint64_t seed = 0;       //!< per-request workload seed
+};
+
+/**
+ * Generate a seeded Poisson arrival trace per @p spec. Arrival times
+ * are non-decreasing; every field is a pure function of spec.seed.
+ */
+std::vector<ServingRequest> poissonArrivalTrace(const TraceSpec &spec);
 
 } // namespace pade
 

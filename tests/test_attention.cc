@@ -265,6 +265,58 @@ TEST(OnlineSoftmax, NoAllocOverloadsMatchSpanApi)
     EXPECT_EQ(c.finalize(), d.finalize());
 }
 
+TEST(OnlineSoftmax, ResetReuseAcrossRowsOfDifferentLengths)
+{
+    // The workspace-reuse contract the serving decode engine leans
+    // on: one accumulator, reset() across rows of different dims and
+    // retained-set sizes (shrinking then growing), must match a fresh
+    // accumulator bit for bit — including its counters.
+    Rng rng(31);
+    const MatrixF v = randomMatrix(32, 8, 23);
+    OnlineSoftmaxRow reused(8);
+
+    struct Row
+    {
+        int dim;
+        int keys;
+    };
+    const Row rows[] = {{5, 12}, {3, 1}, {8, 32}, {5, 7}, {1, 3}};
+    for (const Row &row : rows) {
+        std::vector<float> scores(static_cast<size_t>(row.keys));
+        for (auto &s : scores)
+            s = static_cast<float>(rng.gaussian(0.0, 3.0));
+
+        reused.reset(row.dim);
+        EXPECT_EQ(reused.maxUpdates(), 0u);
+        EXPECT_EQ(reused.rescaleOps(), 0u);
+        EXPECT_EQ(reused.denominator(), 0.0f);
+
+        OnlineSoftmaxRow fresh(row.dim);
+        for (int base = 0; base < row.keys; base += 4) {
+            const int n = std::min(4, row.keys - base);
+            std::vector<float> sc;
+            std::vector<std::span<const float>> vv;
+            for (int t = base; t < base + n; t++) {
+                sc.push_back(scores[static_cast<size_t>(t)]);
+                vv.push_back(v.row(t % v.rows()).first(
+                    static_cast<size_t>(row.dim)));
+            }
+            reused.update(sc, vv);
+            fresh.update(sc, vv);
+        }
+        EXPECT_EQ(reused.maxUpdates(), fresh.maxUpdates());
+        EXPECT_EQ(reused.rescaleOps(), fresh.rescaleOps());
+        std::vector<float> a(static_cast<size_t>(row.dim));
+        std::vector<float> b(static_cast<size_t>(row.dim));
+        reused.finalizeInto(a);
+        fresh.finalizeInto(b);
+        for (int d = 0; d < row.dim; d++)
+            EXPECT_EQ(a[static_cast<size_t>(d)],
+                      b[static_cast<size_t>(d)])
+                << "dim " << row.dim << " keys " << row.keys;
+    }
+}
+
 TEST(HeadTail, OrderIsPermutation)
 {
     for (int n : {1, 2, 3, 8, 15}) {

@@ -227,5 +227,47 @@ TEST(BatchDriver, HeterogeneousItemsKeepTheirOwnArch)
               r.results[1].outcome.block.cycles);
 }
 
+TEST(BatchDriver, LatencyPercentilesCoverSuccessfulRequests)
+{
+    // Injectable simulator: request i "runs" with a known wall cost.
+    // Percentiles summarize only successful requests, and every
+    // successful slot records a positive wall_ms.
+    const BatchDriver driver(
+        BatchOptions{.threads = 3},
+        [](const ArchConfig &, const SimRequest &req) {
+            if (req.seed == 4)
+                throw std::runtime_error("injected failure");
+            return SimOutcome{};
+        });
+    std::vector<SimRequest> reqs(8);
+    for (std::size_t i = 0; i < reqs.size(); i++)
+        reqs[i].seed = static_cast<uint64_t>(i);
+
+    const BatchResult r = driver.run(ArchConfig{}, reqs);
+    ASSERT_EQ(r.completed, 7);
+    ASSERT_EQ(r.failed, 1);
+    for (std::size_t i = 0; i < reqs.size(); i++)
+        if (r.results[i].ok)
+            EXPECT_GE(r.results[i].wall_ms, 0.0);
+    EXPECT_GE(r.latency_ms.p99, r.latency_ms.p95);
+    EXPECT_GE(r.latency_ms.p95, r.latency_ms.p50);
+    EXPECT_GE(r.latency_ms.p50, 0.0);
+}
+
+TEST(BatchDriver, PercentilesEmptyWhenEverythingFails)
+{
+    const BatchDriver driver(
+        BatchOptions{},
+        [](const ArchConfig &, const SimRequest &) -> SimOutcome {
+            throw std::runtime_error("always fails");
+        });
+    const BatchResult r =
+        driver.run(ArchConfig{}, std::vector<SimRequest>(3));
+    EXPECT_EQ(r.completed, 0);
+    EXPECT_EQ(r.failed, 3);
+    EXPECT_EQ(r.latency_ms.p50, 0.0);
+    EXPECT_EQ(r.latency_ms.p99, 0.0);
+}
+
 } // namespace
 } // namespace pade

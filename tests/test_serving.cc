@@ -1,0 +1,540 @@
+/**
+ * @file
+ * Serving-layer tests: incremental bit-plane KV cache, the
+ * single-query decode engine's bit-identity with batch padeAttention
+ * across all three QK kernels, and the continuous batcher's
+ * scheduling/determinism contracts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/pade_attention.h"
+#include "core/simd/qk_dispatch.h"
+#include "serving/continuous_batcher.h"
+#include "serving/decode_engine.h"
+#include "serving/kv_cache.h"
+#include "workload/generator.h"
+
+namespace pade {
+namespace {
+
+MatrixI8
+randomInt8(int r, int c, uint64_t seed, int bits = 8)
+{
+    Rng rng(seed);
+    MatrixI8 m(r, c);
+    const int lo = -(1 << (bits - 1));
+    const int hi = (1 << (bits - 1)) - 1;
+    for (int i = 0; i < r; i++)
+        for (int j = 0; j < c; j++)
+            m.at(i, j) = static_cast<int8_t>(rng.range(lo, hi));
+    return m;
+}
+
+MatrixI8
+firstRows(const MatrixI8 &m, int n)
+{
+    MatrixI8 out(n, m.cols());
+    for (int r = 0; r < n; r++)
+        for (int c = 0; c < m.cols(); c++)
+            out.at(r, c) = m.at(r, c);
+    return out;
+}
+
+MatrixI8
+oneRow(const MatrixI8 &m, int r)
+{
+    MatrixI8 out(1, m.cols());
+    for (int c = 0; c < m.cols(); c++)
+        out.at(0, c) = m.at(r, c);
+    return out;
+}
+
+/**
+ * From-scratch reference for decode step: the first @p n_keys rows of
+ * @p full packed anew, with query row @p q_row as the only query. The
+ * quantization params are shared with @p full, so logit_scale and all
+ * integer values match the incremental path exactly.
+ */
+QuantizedHead
+subHead(const QuantizedHead &full, int n_keys, int q_row,
+        float base_scale)
+{
+    const int bits = full.k_planes.numPlanes();
+    Quantized q{oneRow(full.q.values, q_row), full.q.params};
+    Quantized k{firstRows(full.k.values, n_keys), full.k.params};
+    Quantized v{firstRows(full.v.values, n_keys), full.v.params};
+    return QuantizedHead(std::move(q), std::move(k), std::move(v),
+                         bits, base_scale);
+}
+
+// ---------------------------------------------------------------------
+// BitPlaneSet::appendToken — bit-identity with the matrix constructor.
+// ---------------------------------------------------------------------
+
+TEST(AppendToken, ParityWithFullRepackAtTailShapes)
+{
+    // The satellite shapes: word boundaries (63/65), the SIMD
+    // pair-register edge (127), a single column, and a 5-word row.
+    for (int head_dim : {1, 63, 65, 127, 257}) {
+        for (int bits : {4, 8}) {
+            const MatrixI8 m =
+                randomInt8(21, head_dim,
+                           17u + static_cast<uint64_t>(head_dim), bits);
+            const BitPlaneSet full(m, bits);
+
+            BitPlaneSet inc(head_dim, bits, m.rows());
+            EXPECT_EQ(inc.numRows(), 0);
+            for (int r = 0; r < m.rows(); r++)
+                inc.appendToken(m.row(r));
+
+            ASSERT_EQ(inc.numRows(), full.numRows());
+            ASSERT_EQ(inc.numCols(), full.numCols());
+            ASSERT_EQ(inc.numPlanes(), full.numPlanes());
+            ASSERT_EQ(inc.wordsPerPlane(), full.wordsPerPlane());
+            ASSERT_EQ(inc.planeStride(), full.planeStride());
+            for (int row = 0; row < m.rows(); row++) {
+                for (int p = 0; p < bits; p++) {
+                    EXPECT_EQ(inc.popcount(row, p),
+                              full.popcount(row, p));
+                    auto a = inc.plane(row, p);
+                    auto b = full.plane(row, p);
+                    for (std::size_t w = 0; w < a.size(); w++)
+                        EXPECT_EQ(a[w], b[w])
+                            << "hdim " << head_dim << " bits " << bits
+                            << " row " << row << " plane " << p
+                            << " word " << w;
+                }
+            }
+        }
+    }
+}
+
+TEST(AppendToken, PaddingStaysZeroForSimdContract)
+{
+    // The AVX2 backend reads the full aligned stride; appended rows
+    // must keep the padding words beyond wordsPerPlane() zeroed.
+    const int head_dim = 65; // 2 logical words, stride 4
+    const MatrixI8 m = randomInt8(5, head_dim, 3);
+    BitPlaneSet inc(head_dim, 8, 5);
+    for (int r = 0; r < m.rows(); r++)
+        inc.appendToken(m.row(r));
+    for (int row = 0; row < m.rows(); row++) {
+        auto block = inc.rowPlanes(row);
+        ASSERT_EQ(static_cast<int>(block.size()),
+                  8 * inc.planeStride());
+        for (int p = 0; p < 8; p++)
+            for (int w = inc.wordsPerPlane(); w < inc.planeStride();
+                 w++)
+                EXPECT_EQ(block[static_cast<std::size_t>(
+                              p * inc.planeStride() + w)],
+                          0u);
+    }
+}
+
+TEST(AppendToken, GrowthBeyondReservedCapacityStaysCorrect)
+{
+    // capacity_rows is a reservation, not a limit: exceeding it may
+    // reallocate but must preserve contents and alignment.
+    const MatrixI8 m = randomInt8(40, 33, 11);
+    BitPlaneSet inc(33, 8, 4);
+    for (int r = 0; r < m.rows(); r++)
+        inc.appendToken(m.row(r));
+    const BitPlaneSet full(m, 8);
+    for (int row = 0; row < m.rows(); row++)
+        for (int p = 0; p < 8; p++) {
+            auto a = inc.plane(row, p);
+            auto b = full.plane(row, p);
+            for (std::size_t w = 0; w < a.size(); w++)
+                EXPECT_EQ(a[w], b[w]);
+        }
+}
+
+// ---------------------------------------------------------------------
+// KvCache paging.
+// ---------------------------------------------------------------------
+
+TEST(KvCache, PagingGeometryAndValueRows)
+{
+    KvCacheConfig kc;
+    kc.head_dim = 16;
+    kc.bits = 8;
+    kc.page_tokens = 4;
+    kc.v_scale = 0.5f;
+    KvCache cache(kc);
+    EXPECT_EQ(cache.size(), 0);
+    EXPECT_EQ(cache.numPages(), 0);
+
+    const MatrixI8 keys = randomInt8(11, 16, 5);
+    const MatrixI8 vals = randomInt8(11, 16, 6);
+    for (int t = 0; t < 11; t++)
+        cache.appendToken(keys.row(t), vals.row(t));
+
+    EXPECT_EQ(cache.size(), 11);
+    EXPECT_EQ(cache.numPages(), 3);
+    EXPECT_EQ(cache.pageOf(0), 0);
+    EXPECT_EQ(cache.pageOf(3), 0);
+    EXPECT_EQ(cache.pageOf(4), 1);
+    EXPECT_EQ(cache.rowOf(4), 0);
+    EXPECT_EQ(cache.pageOf(10), 2);
+    EXPECT_EQ(cache.rowOf(10), 2);
+    EXPECT_EQ(cache.pagePlanes(0).numRows(), 4);
+    EXPECT_EQ(cache.pagePlanes(2).numRows(), 3);
+    EXPECT_GT(cache.bytesUsed(), 0u);
+
+    // Value rows are the dequantized floats, addressable globally.
+    for (int t = 0; t < 11; t++) {
+        auto v = cache.valueRow(t);
+        ASSERT_EQ(static_cast<int>(v.size()), 16);
+        for (int d = 0; d < 16; d++)
+            EXPECT_EQ(v[d], 0.5f * vals.at(t, d));
+    }
+
+    // Cached PlaneWork matches a fresh computation on the page.
+    for (int t = 0; t < 11; t++) {
+        const BitPlaneSet &p = cache.pagePlanes(cache.pageOf(t));
+        for (int r = 0; r < kc.bits; r++) {
+            const PlaneWork fresh = planeWork(p, cache.rowOf(t), r,
+                                              kc.subgroup, kc.muxes);
+            const PlaneWork &cached = cache.work(t, r);
+            EXPECT_EQ(cached.selected_bs, fresh.selected_bs);
+            EXPECT_EQ(cached.selected_naive, fresh.selected_naive);
+            EXPECT_EQ(cached.cycles_bs, fresh.cycles_bs);
+            EXPECT_EQ(cached.cycles_naive, fresh.cycles_naive);
+        }
+    }
+}
+
+TEST(KvCache, SpansStayValidAcrossAppends)
+{
+    // Fixed-capacity pages must never relocate existing storage: a
+    // span taken before later appends still reads the same memory.
+    KvCacheConfig kc;
+    kc.head_dim = 32;
+    kc.page_tokens = 8;
+    KvCache cache(kc);
+    const MatrixI8 keys = randomInt8(24, 32, 7);
+    const MatrixI8 vals = randomInt8(24, 32, 8);
+    cache.appendToken(keys.row(0), vals.row(0));
+    const float *v0 = cache.valueRow(0).data();
+    const uint64_t *p0 = cache.pagePlanes(0).plane(0, 0).data();
+    for (int t = 1; t < 24; t++)
+        cache.appendToken(keys.row(t), vals.row(t));
+    EXPECT_EQ(cache.valueRow(0).data(), v0);
+    EXPECT_EQ(cache.pagePlanes(0).plane(0, 0).data(), p0);
+}
+
+// ---------------------------------------------------------------------
+// DecodeEngine — bit-identity with batch padeAttention.
+// ---------------------------------------------------------------------
+
+void
+expectDecodeMatchesBatch(QkKernel kernel, int bits, int page_tokens,
+                         int head_dim)
+{
+    const int prompt = 70;
+    const int steps = 5;
+    WorkloadSpec spec;
+    spec.seq_len = prompt + steps;
+    spec.query_len = steps;
+    spec.head_dim = head_dim;
+    spec.seed = 99;
+    const AttentionHead fh = generateHead(spec);
+    const QuantizedHead full = quantizeHead(fh, bits);
+
+    PadeConfig cfg;
+    cfg.qk_kernel = kernel;
+
+    KvCacheConfig kc;
+    kc.head_dim = head_dim;
+    kc.bits = bits;
+    kc.page_tokens = page_tokens;
+    kc.v_scale = full.v.params.scale;
+    KvCache cache(kc);
+    DecodeEngine engine(cfg);
+
+    for (int t = 0; t < prompt; t++)
+        cache.appendToken(full.k.values.row(t), full.v.values.row(t));
+
+    std::vector<float> out(static_cast<std::size_t>(head_dim));
+    for (int t = 0; t < steps; t++) {
+        const int pos = prompt + t;
+        cache.appendToken(full.k.values.row(pos),
+                          full.v.values.row(pos));
+
+        const PruneStats before = engine.stats();
+        const DecodeStep st = engine.step(cache, full.q.values.row(t),
+                                          full.logit_scale, out);
+
+        // From-scratch reference: re-pack the whole history, run the
+        // batch algorithm with this step's query as the only row.
+        const QuantizedHead ref = subHead(full, pos + 1, t, fh.scale);
+        const PadeResult r = padeAttention(ref, cfg);
+
+        EXPECT_EQ(st.keys, pos + 1);
+        EXPECT_EQ(static_cast<uint64_t>(st.retained),
+                  r.stats.keys_retained);
+        EXPECT_EQ(st.planes, r.stats.planes_processed);
+
+        // Output row: bit-for-bit.
+        for (int d = 0; d < head_dim; d++)
+            EXPECT_EQ(std::bit_cast<uint32_t>(out[static_cast<
+                          std::size_t>(d)]),
+                      std::bit_cast<uint32_t>(r.out.at(0, d)))
+                << "step " << t << " dim " << d;
+
+        // Keep mask, planes-consumed trace, retained scan order.
+        auto keep = engine.lastKeep();
+        auto planes = engine.lastPlanes();
+        ASSERT_EQ(static_cast<int>(keep.size()), pos + 1);
+        for (int j = 0; j <= pos; j++) {
+            EXPECT_EQ(keep[static_cast<std::size_t>(j)],
+                      r.keep.at(0, j));
+            EXPECT_EQ(planes[static_cast<std::size_t>(j)],
+                      r.planes.at(0, j));
+        }
+        auto retained = engine.lastRetained();
+        ASSERT_EQ(retained.size(), r.retained[0].size());
+        for (std::size_t i = 0; i < retained.size(); i++)
+            EXPECT_EQ(retained[i], r.retained[0][i]);
+
+        // Stats: the step's deltas equal the one-query batch stats.
+        const PruneStats &after = engine.stats();
+        EXPECT_EQ(after.planes_processed - before.planes_processed,
+                  r.stats.planes_processed);
+        EXPECT_EQ(after.planes_total - before.planes_total,
+                  r.stats.planes_total);
+        EXPECT_EQ(after.keys_retained - before.keys_retained,
+                  r.stats.keys_retained);
+        EXPECT_EQ(after.keys_total - before.keys_total,
+                  r.stats.keys_total);
+        EXPECT_EQ(after.ops_bs - before.ops_bs, r.stats.ops_bs);
+        EXPECT_EQ(after.ops_naive - before.ops_naive,
+                  r.stats.ops_naive);
+        EXPECT_EQ(after.max_updates - before.max_updates,
+                  r.stats.max_updates);
+        EXPECT_EQ(after.rescale_ops - before.rescale_ops,
+                  r.stats.rescale_ops);
+        EXPECT_EQ(after.threshold_updates - before.threshold_updates,
+                  r.stats.threshold_updates);
+    }
+}
+
+TEST(DecodeEngine, BitIdenticalToBatchScalar)
+{
+    expectDecodeMatchesBatch(QkKernel::kScalar, 8, 16, 64);
+}
+
+TEST(DecodeEngine, BitIdenticalToBatchPopcount)
+{
+    expectDecodeMatchesBatch(QkKernel::kPopcount, 8, 16, 64);
+}
+
+TEST(DecodeEngine, BitIdenticalToBatchSimd)
+{
+    // Resolves to kPopcount when AVX2 is compiled out/unavailable;
+    // the parity contract must hold either way.
+    expectDecodeMatchesBatch(QkKernel::kSimd, 8, 16, 64);
+}
+
+TEST(DecodeEngine, BitIdenticalAtInt4AndOddShapes)
+{
+    // Narrow planes, page boundary inside a tile, non-power-of-two
+    // head_dim exercising the SIMD tail path.
+    expectDecodeMatchesBatch(QkKernel::kSimd, 4, 16, 96);
+    expectDecodeMatchesBatch(QkKernel::kPopcount, 4, 10, 65);
+}
+
+TEST(DecodeEngine, SinglePageAndUnguardedDense)
+{
+    // guard_enabled=false runs every plane of every key (dense
+    // bit-serial) — the ablation config must match batch too.
+    const int h = 32;
+    const int prompt = 20;
+    WorkloadSpec spec;
+    spec.seq_len = prompt + 1;
+    spec.query_len = 1;
+    spec.head_dim = h;
+    spec.seed = 5;
+    const AttentionHead fh = generateHead(spec);
+    const QuantizedHead full = quantizeHead(fh, 8);
+
+    PadeConfig cfg;
+    cfg.guard_enabled = false;
+
+    KvCacheConfig kc;
+    kc.head_dim = h;
+    kc.page_tokens = 256;
+    kc.v_scale = full.v.params.scale;
+    KvCache cache(kc);
+    for (int t = 0; t <= prompt; t++)
+        cache.appendToken(full.k.values.row(t), full.v.values.row(t));
+    EXPECT_EQ(cache.numPages(), 1);
+
+    DecodeEngine engine(cfg);
+    std::vector<float> out(h);
+    const DecodeStep st = engine.step(cache, full.q.values.row(0),
+                                      full.logit_scale, out);
+    EXPECT_EQ(st.retained, prompt + 1);
+    EXPECT_EQ(st.planes, static_cast<uint64_t>(8 * (prompt + 1)));
+
+    const QuantizedHead ref = subHead(full, prompt + 1, 0, fh.scale);
+    const PadeResult r = padeAttention(ref, cfg);
+    for (int d = 0; d < h; d++)
+        EXPECT_EQ(std::bit_cast<uint32_t>(out[static_cast<std::size_t>(
+                      d)]),
+                  std::bit_cast<uint32_t>(r.out.at(0, d)));
+}
+
+// ---------------------------------------------------------------------
+// ContinuousBatcher.
+// ---------------------------------------------------------------------
+
+TEST(ContinuousBatcher, CompletesEveryRequestAndRespectsSlots)
+{
+    TraceSpec ts;
+    ts.num_requests = 6;
+    ts.rate_per_s = 5000.0;
+    ts.prompt_min = 8;
+    ts.prompt_max = 24;
+    ts.decode_min = 2;
+    ts.decode_max = 5;
+    ts.seed = 21;
+    const std::vector<ServingRequest> trace = poissonArrivalTrace(ts);
+
+    BatcherOptions opt;
+    opt.threads = 2;
+    opt.max_active = 2;
+    opt.prefill_chunk = 8;
+    opt.head_dim = 32;
+    const ServingReport rep = ContinuousBatcher(opt).run(trace);
+
+    ASSERT_EQ(rep.sessions.size(), trace.size());
+    EXPECT_LE(rep.peak_active, 2);
+    EXPECT_GE(rep.peak_active, 1);
+    EXPECT_GT(rep.rounds, 0);
+    EXPECT_GT(rep.peak_cache_bytes, 0u);
+
+    uint64_t decoded = 0;
+    uint64_t prefilled = 0;
+    for (std::size_t i = 0; i < trace.size(); i++) {
+        const SessionStats &s = rep.sessions[i];
+        EXPECT_EQ(s.prompt_len, trace[i].prompt_len);
+        EXPECT_EQ(s.decode_steps, trace[i].decode_steps);
+        EXPECT_GE(s.admit_ms, s.arrival_ms);
+        EXPECT_GE(s.first_token_ms, s.admit_ms);
+        EXPECT_GE(s.finish_ms, s.first_token_ms);
+        EXPECT_NE(s.checksum, 0u);
+        decoded += static_cast<uint64_t>(s.decode_steps);
+        prefilled += static_cast<uint64_t>(s.prompt_len);
+    }
+    EXPECT_EQ(rep.tokens_decoded, decoded);
+    EXPECT_EQ(rep.tokens_prefilled, prefilled);
+    EXPECT_GE(rep.latency_ms.p99, rep.latency_ms.p95);
+    EXPECT_GE(rep.latency_ms.p95, rep.latency_ms.p50);
+    EXPECT_GT(rep.latency_ms.p50, 0.0);
+}
+
+TEST(ContinuousBatcher, TokenOutputsDeterministicAcrossThreadCounts)
+{
+    TraceSpec ts;
+    ts.num_requests = 5;
+    ts.rate_per_s = 2000.0;
+    ts.prompt_min = 8;
+    ts.prompt_max = 16;
+    ts.decode_min = 2;
+    ts.decode_max = 4;
+    ts.seed = 77;
+    const std::vector<ServingRequest> trace = poissonArrivalTrace(ts);
+
+    auto runWith = [&](int threads, int max_active) {
+        BatcherOptions opt;
+        opt.threads = threads;
+        opt.max_active = max_active;
+        opt.head_dim = 32;
+        opt.prefill_chunk = 4;
+        return ContinuousBatcher(opt).run(trace);
+    };
+    const ServingReport a = runWith(1, 2);
+    const ServingReport b = runWith(4, 2);
+    // Latencies are host timings and may differ; the decoded token
+    // streams may not. Scheduling order (which request lands in which
+    // slot) is arrival-driven, so per-session checksums line up too.
+    EXPECT_EQ(a.checksum, b.checksum);
+    for (std::size_t i = 0; i < trace.size(); i++)
+        EXPECT_EQ(a.sessions[i].checksum, b.sessions[i].checksum);
+    EXPECT_EQ(a.tokens_decoded, b.tokens_decoded);
+
+    // A different slot count changes interleaving but not outputs:
+    // each session's token stream depends only on its own seed.
+    const ServingReport c = runWith(2, 4);
+    EXPECT_EQ(a.checksum, c.checksum);
+}
+
+TEST(ContinuousBatcher, PrefillOnlyRequestCompletesItsPrompt)
+{
+    // decode_steps == 0 is a legal prefill-only request: the batcher
+    // must still do the prompt work before evicting, must not emit a
+    // token, and must keep the (empty) TTFT sample set clean.
+    std::vector<ServingRequest> trace(2);
+    trace[0] = {0.0, 12, 0, 5};
+    trace[1] = {0.0, 7, 0, 6};
+
+    BatcherOptions opt;
+    opt.threads = 1;
+    opt.head_dim = 16;
+    opt.prefill_chunk = 4;
+    const ServingReport rep = ContinuousBatcher(opt).run(trace);
+
+    EXPECT_EQ(rep.tokens_prefilled, 19u);
+    EXPECT_EQ(rep.tokens_decoded, 0u);
+    EXPECT_EQ(rep.checksum, 0u);
+    for (const SessionStats &s : rep.sessions) {
+        EXPECT_GE(s.finish_ms, s.admit_ms);
+        EXPECT_LT(s.first_token_ms, 0.0);
+    }
+    EXPECT_EQ(rep.ttft_ms.p50, 0.0);
+    EXPECT_GT(rep.latency_ms.p50, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Percentiles.
+// ---------------------------------------------------------------------
+
+TEST(Percentiles, NearestRankOnKnownSet)
+{
+    std::vector<double> v;
+    for (int i = 100; i >= 1; i--)
+        v.push_back(static_cast<double>(i));
+    const Percentiles p = Percentiles::of(v);
+    EXPECT_DOUBLE_EQ(p.p50, 50.0);
+    EXPECT_DOUBLE_EQ(p.p95, 95.0);
+    EXPECT_DOUBLE_EQ(p.p99, 99.0);
+}
+
+TEST(Percentiles, SmallAndEmptySets)
+{
+    const Percentiles empty = Percentiles::of({});
+    EXPECT_EQ(empty.p50, 0.0);
+    EXPECT_EQ(empty.p95, 0.0);
+    EXPECT_EQ(empty.p99, 0.0);
+
+    const std::vector<double> one = {42.0};
+    const Percentiles p1 = Percentiles::of(one);
+    EXPECT_DOUBLE_EQ(p1.p50, 42.0);
+    EXPECT_DOUBLE_EQ(p1.p99, 42.0);
+
+    const std::vector<double> two = {10.0, 20.0};
+    const Percentiles p2 = Percentiles::of(two);
+    EXPECT_DOUBLE_EQ(p2.p50, 10.0);
+    EXPECT_DOUBLE_EQ(p2.p95, 20.0);
+}
+
+} // namespace
+} // namespace pade

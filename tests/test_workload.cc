@@ -180,6 +180,57 @@ TEST(Generator, FromPresetsCopiesKnobs)
     EXPECT_EQ(spec.seed, 9u);
 }
 
+TEST(PoissonTrace, DeterministicAndSorted)
+{
+    TraceSpec spec;
+    spec.num_requests = 64;
+    spec.rate_per_s = 500.0;
+    spec.seed = 9;
+    const auto a = poissonArrivalTrace(spec);
+    const auto b = poissonArrivalTrace(spec);
+    ASSERT_EQ(a.size(), 64u);
+    for (std::size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a[i].arrival_ms, b[i].arrival_ms);
+        EXPECT_EQ(a[i].prompt_len, b[i].prompt_len);
+        EXPECT_EQ(a[i].decode_steps, b[i].decode_steps);
+        EXPECT_EQ(a[i].seed, b[i].seed);
+        if (i > 0)
+            EXPECT_GE(a[i].arrival_ms, a[i - 1].arrival_ms);
+    }
+    spec.seed = 10;
+    const auto c = poissonArrivalTrace(spec);
+    EXPECT_NE(a[0].arrival_ms, c[0].arrival_ms);
+}
+
+TEST(PoissonTrace, BoundsAndRate)
+{
+    TraceSpec spec;
+    spec.num_requests = 2000;
+    spec.rate_per_s = 250.0;
+    spec.prompt_min = 16;
+    spec.prompt_max = 128;
+    spec.decode_min = 4;
+    spec.decode_max = 12;
+    spec.seed = 4;
+    const auto trace = poissonArrivalTrace(spec);
+
+    for (const ServingRequest &r : trace) {
+        EXPECT_GE(r.prompt_len, 16);
+        EXPECT_LE(r.prompt_len, 128);
+        EXPECT_GE(r.decode_steps, 4);
+        EXPECT_LE(r.decode_steps, 12);
+    }
+    // Mean inter-arrival gap of a Poisson process at 250/s is 4 ms;
+    // with 2000 samples the empirical mean is within a few percent.
+    const double mean_gap_ms =
+        trace.back().arrival_ms / (spec.num_requests - 1);
+    EXPECT_NEAR(mean_gap_ms, 4.0, 0.5);
+
+    // Per-request seeds must be distinct (index-derived).
+    EXPECT_NE(trace[0].seed, trace[1].seed);
+    EXPECT_NE(trace[1].seed, trace[2].seed);
+}
+
 /** Oracle sparsity should be substantial for LLM-like settings. */
 class SparsityRangeTest
     : public ::testing::TestWithParam<std::pair<double, double>>
