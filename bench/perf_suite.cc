@@ -4,7 +4,7 @@
  * machine-readable BENCH_perf.json so the performance trajectory is
  * visible across PRs (CI uploads the file as an artifact).
  *
- * Five stages are measured:
+ * Six stages are measured:
  *  1. QK scoring kernel — the three-way kernel comparison (scalar
  *     ctz-walk oracle, word-parallel popcount, AVX2 SIMD backend)
  *     across {seq, bits, head_dim} points, including the
@@ -20,7 +20,14 @@
  *     every token, across context lengths. The append (cache
  *     maintenance) component is context-independent for the cached
  *     path and linear in context for re-pack — the subsystem's
- *     headline property.
+ *     headline property;
+ *  6. GQA layer decode — per-token cost of a whole 8-query-head
+ *     layer at KV-sharing ratios 1:1 / 4:1 / 8:1 (LayerEngine with
+ *     shared caches), against 8x the single-head cost. Sharing the
+ *     KV stream amortizes the append and the per-key page/PlaneWork
+ *     lookups across the group, so the grouped cost sits measurably
+ *     below heads-times-single — and KV residency scales with
+ *     kv_heads, not heads.
  *
  * Flags: --quick (CI smoke: fewer/smaller points), --reps=N best-of
  * repetitions (default 3), --out=FILE (default BENCH_perf.json),
@@ -39,6 +46,7 @@
 #include "core/simd/qk_dispatch.h"
 #include "quant/bitplane.h"
 #include "runtime/batch_driver.h"
+#include "serving/layer_engine.h"
 #include "workload/generator.h"
 
 using namespace pade;
@@ -154,6 +162,76 @@ makeHead(int seq, int bits, int head_dim = 128, int queries = 8,
     return quantizeHead(generateHead(spec), bits);
 }
 
+/** Measured cost of one GQA layer configuration (section 6). */
+struct GqaDecodeCost
+{
+    double layer_us_per_tok = 0.0; //!< whole layer: appends + decode
+    std::size_t kv_bytes = 0;      //!< resident KV after the run
+};
+
+/**
+ * Per-token decode cost of one whole layer: prefill ctx tokens
+ * (untimed), then time `steps` rounds of KV append + grouped decode
+ * across every head, best of `reps` fresh engines.
+ */
+GqaDecodeCost
+measureGqaDecode(int heads, int kv_heads, int ctx, int steps, int reps,
+                 int64_t &checksum)
+{
+    LayerSpec spec;
+    spec.heads = heads;
+    spec.kv_heads = kv_heads;
+    spec.head_dim = 128;
+    spec.prompt_len = ctx;
+    spec.decode_steps = steps;
+    spec.seed = 42;
+    const LayerWorkload lw = generateLayerWorkload(spec);
+
+    LayerEngineConfig lc;
+    lc.heads = heads;
+    lc.kv_heads = kv_heads;
+    lc.head_dim = spec.head_dim;
+
+    std::vector<float> v_scales;
+    std::vector<float> logit_scales;
+    for (const QuantizedHead &g : lw.groups) {
+        v_scales.push_back(g.v.params.scale);
+        logit_scales.push_back(g.logit_scale);
+    }
+
+    MatrixI8 k_stage(kv_heads, spec.head_dim);
+    MatrixI8 v_stage(kv_heads, spec.head_dim);
+    MatrixI8 q_stage(heads, spec.head_dim);
+    MatrixF out(heads, spec.head_dim);
+
+    GqaDecodeCost cost;
+    for (int r = 0; r < std::max(1, reps); r++) {
+        LayerEngine layer(lc, v_scales);
+        for (int pos = 0; pos < ctx; pos++) {
+            lw.stageKv(pos, k_stage, v_stage);
+            layer.appendToken(k_stage, v_stage);
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int t = 0; t < steps; t++) {
+            const int pos = ctx + t;
+            lw.stageKv(pos, k_stage, v_stage);
+            lw.stageQueries(pos, q_stage);
+            layer.appendToken(k_stage, v_stage);
+            const LayerStep st =
+                layer.decode(q_stage, logit_scales, out);
+            checksum += st.retained;
+        }
+        const double us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count() /
+            steps;
+        if (r == 0 || us < cost.layer_us_per_tok)
+            cost.layer_us_per_tok = us;
+        cost.kv_bytes = layer.bytesUsed();
+    }
+    return cost;
+}
+
 } // namespace
 
 int
@@ -186,7 +264,7 @@ main(int argc, char **argv)
     //    SIMD backend targets (ISSUE 3 acceptance: >= 1.5x over
     //    popcount there).
     // ------------------------------------------------------------------
-    std::printf("\n[1/5] QK scoring kernel (exactDot over all pairs; "
+    std::printf("\n[1/6] QK scoring kernel (exactDot over all pairs; "
                 "simd %s)\n",
                 qkSimdAvailable() ? "available" : "UNAVAILABLE");
     Table t1;
@@ -267,7 +345,7 @@ main(int argc, char **argv)
     //    workspace. kSimd silently resolves to kPopcount when the
     //    backend is unavailable (the two columns then read the same).
     // ------------------------------------------------------------------
-    std::printf("\n[2/5] padeAttention (guarded, workspace reuse)\n");
+    std::printf("\n[2/6] padeAttention (guarded, workspace reuse)\n");
     Table t2;
     t2.header({"seq", "scalar ms", "popcount ms", "simd ms",
                "simd/scalar", "keep rate"});
@@ -311,7 +389,7 @@ main(int argc, char **argv)
     // ------------------------------------------------------------------
     // 3. Reference attention (cache-blocked matmul path + flash).
     // ------------------------------------------------------------------
-    std::printf("\n[3/5] reference attention (oracle path)\n");
+    std::printf("\n[3/6] reference attention (oracle path)\n");
     Table t3;
     t3.header({"seq", "queries", "dense ms", "flash ms"});
     json.openArray("reference");
@@ -347,7 +425,7 @@ main(int argc, char **argv)
     // ------------------------------------------------------------------
     // 4. Batch-driver sweep across {seq, bits, concentration}.
     // ------------------------------------------------------------------
-    std::printf("\n[4/5] batch-driver sweep (%d workers)\n",
+    std::printf("\n[4/6] batch-driver sweep (%d workers)\n",
                 sweep_threads);
     std::vector<BatchItem> sweep;
     for (int seq : quick ? std::vector<int>{2048}
@@ -386,7 +464,7 @@ main(int argc, char **argv)
     //    re-pack cost is O(context); the total step cost additionally
     //    carries the O(context) guarded scan both paths share.
     // ------------------------------------------------------------------
-    std::printf("\n[5/5] serving decode (incremental KvCache vs "
+    std::printf("\n[5/6] serving decode (incremental KvCache vs "
                 "re-pack)\n");
     Table t5;
     t5.header({"ctx", "append us/tok", "cached us/tok",
@@ -425,6 +503,61 @@ main(int argc, char **argv)
     }
     json.close(true);
     t5.print();
+
+    // ------------------------------------------------------------------
+    // 6. GQA layer decode: a whole 8-head layer at KV sharing ratios
+    //    1:1 / 4:1 / 8:1 versus 8x the single-head cost. The shared
+    //    cache amortizes appends and per-key page/PlaneWork lookups
+    //    across the group (acceptance: the 8:1 ratio sits measurably
+    //    below 1.0), and KV residency scales with kv_heads.
+    // ------------------------------------------------------------------
+    std::printf("\n[6/6] GQA layer decode (8 query heads, shared KV "
+                "caches)\n");
+    Table t6;
+    t6.header({"heads", "kv", "ratio", "ctx", "layer us/tok",
+               "us/tok/head", "vs heads x single", "KV MB"});
+    json.openArray("gqa_decode");
+    const int gqa_ctx = quick ? 512 : 1024;
+    const int gqa_steps = quick ? 6 : 12;
+
+    const GqaDecodeCost single =
+        measureGqaDecode(1, 1, gqa_ctx, gqa_steps, reps, checksum);
+    struct GqaRow
+    {
+        int heads, kv_heads;
+    };
+    for (const auto [heads, kv_heads] :
+         {GqaRow{1, 1}, GqaRow{8, 8}, GqaRow{8, 2}, GqaRow{8, 1}}) {
+        const GqaDecodeCost c = heads == 1
+            ? single
+            : measureGqaDecode(heads, kv_heads, gqa_ctx, gqa_steps,
+                               reps, checksum);
+        const double vs_single = c.layer_us_per_tok /
+            (heads * single.layer_us_per_tok);
+        char ratio[16];
+        std::snprintf(ratio, sizeof(ratio), "%d:1",
+                      heads / kv_heads);
+        t6.row({std::to_string(heads), std::to_string(kv_heads),
+                ratio, std::to_string(gqa_ctx),
+                Table::num(c.layer_us_per_tok, 1),
+                Table::num(c.layer_us_per_tok / heads, 1),
+                Table::num(vs_single, 3),
+                Table::num(static_cast<double>(c.kv_bytes) / 1e6,
+                           2)});
+        json.openObject();
+        json.field("heads", static_cast<int64_t>(heads));
+        json.field("kv_heads", static_cast<int64_t>(kv_heads));
+        json.field("ctx", static_cast<int64_t>(gqa_ctx));
+        json.field("steps", static_cast<int64_t>(gqa_steps));
+        json.field("layer_us_per_tok", c.layer_us_per_tok);
+        json.field("us_per_tok_per_head",
+                   c.layer_us_per_tok / heads);
+        json.field("vs_heads_x_single", vs_single);
+        json.field("kv_bytes", static_cast<int64_t>(c.kv_bytes));
+        json.close();
+    }
+    json.close(true);
+    t6.print();
 
     json.field("checksum", checksum);
     json.close();

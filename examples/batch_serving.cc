@@ -8,10 +8,11 @@
  *                     [--threads 0] [--seed 42]
  *
  * The same trace is served twice — on 1 worker and on all cores — to
- * show that (a) every decoded token is bit-for-bit identical
- * regardless of thread count (the per-session computation is
- * sequential and seeded; only latency is a host measurement), and
- * (b) wall-clock and tail latency improve with the machine.
+ * show that (a) every decoded token AND every scored prefill output
+ * is bit-for-bit identical regardless of thread count (the
+ * per-session computation is sequential and seeded; only latency is
+ * a host measurement), and (b) wall-clock and tail latency improve
+ * with the machine.
  *
  * Exit status is nonzero if the two runs' token checksums diverge or
  * any request fails to finish, so CI can smoke-test the scheduler.
@@ -105,7 +106,8 @@ main(int argc, char **argv)
         want_prefill += static_cast<uint64_t>(r.prompt_len);
         want_decode += static_cast<uint64_t>(r.decode_steps);
     }
-    const bool identical = seq.checksum == par.checksum;
+    const bool identical = seq.checksum == par.checksum &&
+        seq.prefill_checksum == par.prefill_checksum;
     const bool complete = par.tokens_decoded == want_decode &&
         seq.tokens_decoded == want_decode &&
         par.tokens_prefilled == want_prefill &&

@@ -48,6 +48,21 @@ istaScanOrderInto(int seq_len, int tile, bool head_tail,
     }
 }
 
+PruneStats &
+PruneStats::operator+=(const PruneStats &o)
+{
+    planes_processed += o.planes_processed;
+    planes_total += o.planes_total;
+    keys_retained += o.keys_retained;
+    keys_total += o.keys_total;
+    ops_bs += o.ops_bs;
+    ops_naive += o.ops_naive;
+    max_updates += o.max_updates;
+    rescale_ops += o.rescale_ops;
+    threshold_updates += o.threshold_updates;
+    return *this;
+}
+
 PadeResult
 padeAttention(const QuantizedHead &head, const PadeConfig &cfg,
               PadeWorkspace *ws_in)
@@ -76,19 +91,34 @@ padeAttention(const QuantizedHead &head, const PadeConfig &cfg,
     // Per-(key, plane) work counts are query-independent: build the
     // whole table eagerly (one pass over the packed planes, parallel
     // across keys when the workspace carries a pool) so the per-query
-    // loop below is a pure table lookup.
-    ws.plane_work.resize(static_cast<size_t>(s) * bits);
-    auto workRowFor = [&](int key) {
-        for (int r = 0; r < bits; r++)
-            ws.plane_work[static_cast<size_t>(key) * bits + r] =
-                planeWork(head.k_planes, key, r, cfg.subgroup,
-                          cfg.muxes);
-    };
-    if (ws.pool && ws.pool->threadCount() > 1) {
-        parallelFor(*ws.pool, s, workRowFor);
-    } else {
-        for (int key = 0; key < s; key++)
-            workRowFor(key);
+    // loop below is a pure table lookup. A workspace that already
+    // holds the table for these exact planes (pointer + revision +
+    // GSAT geometry match) skips the rebuild entirely — the reuse the
+    // GQA serving path depends on, where heads/kv_heads query heads
+    // score one shared plane set back to back.
+    const bool table_cached = ws.plane_work_src == &head.k_planes &&
+        ws.plane_work_revision == head.k_planes.revision() &&
+        ws.plane_work_subgroup == cfg.subgroup &&
+        ws.plane_work_muxes == cfg.muxes;
+    if (!table_cached) {
+        ws.plane_work.resize(static_cast<size_t>(s) * bits);
+        auto workRowFor = [&](int key) {
+            for (int r = 0; r < bits; r++)
+                ws.plane_work[static_cast<size_t>(key) * bits + r] =
+                    planeWork(head.k_planes, key, r, cfg.subgroup,
+                              cfg.muxes);
+        };
+        if (ws.pool && ws.pool->threadCount() > 1) {
+            parallelFor(*ws.pool, s, workRowFor);
+        } else {
+            for (int key = 0; key < s; key++)
+                workRowFor(key);
+        }
+        ws.plane_work_src = &head.k_planes;
+        ws.plane_work_revision = head.k_planes.revision();
+        ws.plane_work_subgroup = cfg.subgroup;
+        ws.plane_work_muxes = cfg.muxes;
+        ws.plane_work_builds++;
     }
 
     const MatrixF vf = dequantize(head.v);

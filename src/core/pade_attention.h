@@ -76,6 +76,23 @@ struct PadeWorkspace
     std::vector<int64_t> retained_scores; //!< exact retained scores
     std::vector<float> tile_scores; //!< ISTA tile logits
     OnlineSoftmaxRow softmax{0};    //!< value-stage accumulator
+
+    /**
+     * Cache key of the PlaneWork table currently in plane_work. The
+     * table depends only on (key planes, GSAT geometry), so a repeated
+     * padeAttention call over the same BitPlaneSet — the GQA pattern,
+     * where every query head of a group scores one shared KV-head
+     * plane set — reuses the table instead of rebuilding it.
+     * BitPlaneSet::revision() is a process-unique content token, so a
+     * (pointer, revision, subgroup, muxes) match can only mean
+     * identical plane content.
+     */
+    const BitPlaneSet *plane_work_src = nullptr;
+    uint64_t plane_work_revision = 0;
+    int plane_work_subgroup = 0;
+    int plane_work_muxes = 0;
+    /** PlaneWork table (re)builds performed (reuse observability). */
+    uint64_t plane_work_builds = 0;
 };
 
 /** Aggregate pruning / work statistics of one head execution. */
@@ -90,6 +107,9 @@ struct PruneStats
     uint64_t max_updates = 0;      //!< online-softmax max updates
     uint64_t rescale_ops = 0;      //!< rescale multiply-adds
     uint64_t threshold_updates = 0;
+
+    /** Accumulate another execution's counters (all fields add). */
+    PruneStats &operator+=(const PruneStats &o);
 
     double
     avgPlanesPerKey() const

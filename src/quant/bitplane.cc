@@ -1,6 +1,7 @@
 #include "quant/bitplane.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cassert>
 #include <cstdint>
@@ -29,9 +30,18 @@ BitPlaneSet::BitPlaneSet(const MatrixI8 &m, int bits)
         appendToken(m.row(row));
 }
 
+uint64_t
+BitPlaneSet::nextRevision()
+{
+    // Relaxed is enough: the counter only needs uniqueness, not
+    // ordering with respect to other memory operations.
+    static std::atomic<uint64_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 BitPlaneSet::BitPlaneSet(int cols, int bits, int capacity_rows)
     : cols_(cols), bits_(bits), words_((cols + 63) / 64),
-      stride_(planeStrideWords(words_))
+      stride_(planeStrideWords(words_)), revision_(nextRevision())
 {
     assert(bits_ >= 2 && bits_ <= 8);
     assert(cols_ >= 0 && capacity_rows >= 0);
@@ -53,6 +63,7 @@ BitPlaneSet::appendToken(std::span<const int8_t> row)
     // within the reserved capacity this never reallocates, and the new
     // words start zeroed so the alignment/zero-padding storage
     // contract holds for the appended row too.
+    revision_ = nextRevision();
     const int row_idx = rows_++;
     storage_.resize(storage_.size() +
                         static_cast<std::size_t>(bits_) * stride_,

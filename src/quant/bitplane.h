@@ -101,6 +101,18 @@ class BitPlaneSet
     int planeStride() const { return stride_; }
 
     /**
+     * Content identity token for derived-table caches. Drawn from a
+     * process-wide counter at construction and advanced by every
+     * appendToken(), so no two distinct contents ever share a
+     * (pointer, revision) pair — even when a new set is allocated at
+     * a freed set's address. PadeWorkspace keys its query-independent
+     * PlaneWork table on this to skip the per-call rebuild when the
+     * same planes are scored again (the GQA case: every query head of
+     * a group scores the one shared KV-head plane set).
+     */
+    uint64_t revision() const { return revision_; }
+
+    /**
      * All @c numPlanes() planes of @p row as one contiguous block:
      * plane r starts at offset r * planeStride(). This is the view
      * the fused SIMD dot kernel consumes (partialDotSimd/
@@ -149,11 +161,15 @@ class BitPlaneSet
         return (static_cast<std::size_t>(row) * bits_ + r) * stride_;
     }
 
+    /** Next unused revision token (see revision()). */
+    static uint64_t nextRevision();
+
     int rows_ = 0;
     int cols_ = 0;
     int bits_ = 8;
     int words_ = 0;  //!< logical words per plane: ceil(cols / 64)
     int stride_ = 0; //!< allocated words per plane (32-byte multiple)
+    uint64_t revision_ = 0;
     PlaneStore storage_;
     std::vector<int> popcounts_;
 };

@@ -12,6 +12,7 @@
 #define PADE_RUNTIME_THREAD_POOL_H
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -78,6 +79,28 @@ class ThreadPool
  */
 void parallelFor(ThreadPool &pool, int n,
                  const std::function<void(int)> &fn);
+
+/**
+ * parallelFor with a deterministic reduction: fn(i) runs on the pool
+ * for i = 0..n-1 (any interleaving), then reduce(acc, result_i) folds
+ * the results on the calling thread in ascending index order — so the
+ * reduced value is bit-identical for every thread count even when the
+ * reduction is not associative/commutative in floating point. This is
+ * the aggregation discipline the model-granularity serving layer uses
+ * to fan KV heads across the pool.
+ */
+template <typename T, typename Fn, typename Reduce>
+T
+parallelReduceOrdered(ThreadPool &pool, int n, T init, Fn &&fn,
+                      Reduce &&reduce)
+{
+    std::vector<decltype(fn(0))> parts(static_cast<std::size_t>(n));
+    parallelFor(pool, n,
+                [&](int i) { parts[static_cast<std::size_t>(i)] = fn(i); });
+    for (int i = 0; i < n; i++)
+        reduce(init, parts[static_cast<std::size_t>(i)]);
+    return init;
+}
 
 } // namespace pade
 

@@ -9,8 +9,7 @@
 
 #include "common/rng.h"
 #include "runtime/thread_pool.h"
-#include "serving/decode_engine.h"
-#include "serving/kv_cache.h"
+#include "serving/layer_engine.h"
 
 namespace pade {
 
@@ -24,102 +23,145 @@ mixChecksum(uint64_t acc, uint32_t word)
     return splitMix64(state);
 }
 
+/** Mix a whole output matrix (all heads of one position). */
+uint64_t
+mixMatrix(uint64_t acc, const MatrixF &m)
+{
+    for (int r = 0; r < m.rows(); r++)
+        for (float v : m.row(r))
+            acc = mixChecksum(acc, std::bit_cast<uint32_t>(v));
+    return acc;
+}
+
 /** One in-flight request: its workload, KV state, and timeline. */
 struct Session
 {
     Session(const ServingRequest &r, std::size_t idx, double admit,
-            const BatcherOptions &opt)
-        : req(&r), index(idx), admit_ms(admit), engine(opt.pade)
+            int seq)
+        : req(&r), index(idx), admit_ms(admit), admit_seq(seq)
     {
     }
 
     const ServingRequest *req;
     std::size_t index;
     double admit_ms;
+    int admit_seq;
     double first_token_ms = -1.0;
     int prefilled = 0;
     int decoded = 0;
     uint64_t checksum = 0;
+    uint64_t prefill_checksum = 0;
 
-    std::optional<QuantizedHead> head;
-    std::optional<KvCache> cache;
-    DecodeEngine engine;
-    std::vector<float> out;
+    std::optional<LayerWorkload> work;
+    std::optional<LayerEngine> layer;
+    std::vector<float> logit_scales;
+    // Per-position staging: row kv/h = that KV/query head's row for
+    // the position being appended/scored (the head-major layout
+    // LayerEngine consumes). Sized once at materialization.
+    MatrixI8 k_stage;
+    MatrixI8 v_stage;
+    MatrixI8 q_stage;
+    MatrixF out;
 
     /**
-     * Finished = materialized, whole prompt prefilled, every token
-     * decoded. The prefill clause matters for decode_steps == 0
+     * Finished = materialized, whole prompt prefilled+scored, every
+     * token decoded. The prefill clause matters for decode_steps == 0
      * (prefill-only) requests, which must still do their prompt work
      * before eviction.
      */
     bool
     done() const
     {
-        return head.has_value() && prefilled >= req->prompt_len &&
+        return layer.has_value() && prefilled >= req->prompt_len &&
             decoded >= req->decode_steps;
     }
 };
 
 /**
  * Advance one session by one scheduling unit. Runs on a pool worker;
- * sessions are independent, so no synchronization is needed.
+ * sessions touch disjoint state, so the only sharing is the pool
+ * itself (the in-session KV-head fan-out nests on it — parallelFor's
+ * caller work-stealing keeps that deadlock-free).
  */
 void
-stepSession(Session &s, const BatcherOptions &opt)
+stepSession(Session &s, const BatcherOptions &opt, ThreadPool *pool)
 {
     const ServingRequest &req = *s.req;
 
-    if (!s.head) {
-        // Unit 1: materialize the session workload. The head spans
-        // prompt + decode positions; key/value rows stream into the
-        // cache below, query row t drives decode step t. Quantization
-        // scales are fixed once here, so incremental packing is
-        // bit-identical to packing the full history at any step.
-        WorkloadSpec spec;
-        spec.seq_len = req.prompt_len + req.decode_steps;
-        spec.query_len = req.decode_steps;
+    if (!s.layer) {
+        // Unit 1: materialize the session workload — one quantized
+        // GQA layer whose K/V streams feed the caches and whose query
+        // rows drive scored prefill (prompt positions) and decode
+        // (tail positions). Quantization scales are fixed once here,
+        // so incremental packing is bit-identical to packing the full
+        // history at any step.
+        LayerSpec spec;
+        spec.heads = opt.heads;
+        spec.kv_heads = opt.kv_heads;
         spec.head_dim = opt.head_dim;
+        spec.prompt_len = req.prompt_len;
+        spec.decode_steps = req.decode_steps;
+        spec.bits = opt.bits;
         spec.concentration = opt.concentration;
         spec.locality = opt.locality;
         spec.seed = req.seed;
-        s.head.emplace(quantizeHead(generateHead(spec), opt.bits));
+        s.work.emplace(generateLayerWorkload(spec));
 
-        KvCacheConfig kc;
-        kc.head_dim = opt.head_dim;
-        kc.bits = opt.bits;
-        kc.page_tokens = opt.page_tokens;
-        kc.subgroup = opt.pade.subgroup;
-        kc.muxes = opt.pade.muxes;
-        kc.v_scale = s.head->v.params.scale;
-        s.cache.emplace(kc);
-        s.out.resize(static_cast<std::size_t>(opt.head_dim));
+        LayerEngineConfig lc;
+        lc.heads = opt.heads;
+        lc.kv_heads = opt.kv_heads;
+        lc.head_dim = opt.head_dim;
+        lc.bits = opt.bits;
+        lc.page_tokens = opt.page_tokens;
+        lc.pade = opt.pade;
+        lc.retention = opt.retention;
+        s.logit_scales.clear();
+        std::vector<float> v_scales;
+        for (const QuantizedHead &g : s.work->groups) {
+            v_scales.push_back(g.v.params.scale);
+            s.logit_scales.push_back(g.logit_scale);
+        }
+        s.layer.emplace(lc, v_scales);
+        s.k_stage = MatrixI8(opt.kv_heads, opt.head_dim);
+        s.v_stage = MatrixI8(opt.kv_heads, opt.head_dim);
+        s.q_stage = MatrixI8(opt.heads, opt.head_dim);
+        s.out = MatrixF(opt.heads, opt.head_dim);
         return;
     }
 
     if (s.prefilled < req.prompt_len) {
-        // Unit 2..k: prefill one chunk of prompt tokens (pack-only;
-        // chunking keeps long prompts from starving decode slots).
+        // Unit 2..k: one prefill chunk — append the chunk's K/V rows,
+        // then run guarded causal attention for each of its prompt
+        // positions (tile-by-tile over the ISTA order of the full
+        // prompt, so chunking never changes the numbers). Prefill is
+        // real scored work now, not just cache packing.
         const int n = std::min(opt.prefill_chunk,
                                req.prompt_len - s.prefilled);
         for (int t = 0; t < n; t++) {
+            s.work->stageKv(s.prefilled + t, s.k_stage, s.v_stage);
+            s.layer->appendToken(s.k_stage, s.v_stage);
+        }
+        for (int t = 0; t < n; t++) {
             const int pos = s.prefilled + t;
-            s.cache->appendToken(s.head->k.values.row(pos),
-                                 s.head->v.values.row(pos));
+            s.work->stageQueries(pos, s.q_stage);
+            s.layer->prefillPosition(s.q_stage, pos, req.prompt_len,
+                                     s.logit_scales, s.out, pool);
+            s.prefill_checksum = mixMatrix(s.prefill_checksum, s.out);
         }
         s.prefilled += n;
         return;
     }
 
-    // Decode one token: append its KV row, then run the guarded
-    // incremental attention step over the whole cache.
-    const int t = s.decoded;
-    const int pos = req.prompt_len + t;
-    s.cache->appendToken(s.head->k.values.row(pos),
-                         s.head->v.values.row(pos));
-    s.engine.step(*s.cache, s.head->q.values.row(t),
-                  s.head->logit_scale, s.out);
-    for (float v : s.out)
-        s.checksum = mixChecksum(s.checksum, std::bit_cast<uint32_t>(v));
+    // Decode one token: append its KV rows, run the grouped guarded
+    // attention step over every (shared) cache, then let the
+    // retention policy reclaim aged-out pages.
+    const int pos = req.prompt_len + s.decoded;
+    s.work->stageKv(pos, s.k_stage, s.v_stage);
+    s.layer->appendToken(s.k_stage, s.v_stage);
+    s.work->stageQueries(pos, s.q_stage);
+    s.layer->decode(s.q_stage, s.logit_scales, s.out, pool);
+    s.checksum = mixMatrix(s.checksum, s.out);
+    s.layer->evict();
     s.decoded++;
 }
 
@@ -128,6 +170,8 @@ stepSession(Session &s, const BatcherOptions &opt)
 ContinuousBatcher::ContinuousBatcher(BatcherOptions opt) : opt_(opt)
 {
     assert(opt_.max_active > 0 && opt_.prefill_chunk > 0);
+    assert(opt_.heads >= 1 && opt_.kv_heads >= 1 &&
+           opt_.heads % opt_.kv_heads == 0);
 }
 
 ServingReport
@@ -144,6 +188,9 @@ ContinuousBatcher::run(std::span<const ServingRequest> trace) const
     std::vector<std::unique_ptr<Session>> active;
     active.reserve(static_cast<std::size_t>(opt_.max_active));
     std::size_t next = 0;
+    // Arrived-but-unadmitted trace indices, drained by priority.
+    std::vector<std::size_t> pending;
+    int admit_seq = 0;
     double now_ms = 0.0;
 
     std::vector<double> latency;
@@ -151,21 +198,36 @@ ContinuousBatcher::run(std::span<const ServingRequest> trace) const
     latency.reserve(trace.size());
     ttft.reserve(trace.size());
 
-    while (next < trace.size() || !active.empty()) {
-        // Admit every arrived request while slots are free.
+    while (next < trace.size() || !pending.empty() ||
+           !active.empty()) {
+        // Stage every arrived request, then admit by priority (higher
+        // first), trace order breaking ties — a deterministic policy
+        // independent of thread count or round timing jitter in the
+        // sense that equal virtual clocks admit equal sets.
         while (next < trace.size() &&
-               static_cast<int>(active.size()) < opt_.max_active &&
-               trace[next].arrival_ms <= now_ms) {
+               trace[next].arrival_ms <= now_ms)
+            pending.push_back(next++);
+        while (!pending.empty() &&
+               static_cast<int>(active.size()) < opt_.max_active) {
+            const auto best = std::min_element(
+                pending.begin(), pending.end(),
+                [&](std::size_t a, std::size_t b) {
+                    if (trace[a].priority != trace[b].priority)
+                        return trace[a].priority > trace[b].priority;
+                    return a < b;
+                });
+            const std::size_t idx = *best;
+            pending.erase(best);
             active.push_back(std::make_unique<Session>(
-                trace[next], next, now_ms, opt_));
-            next++;
+                trace[idx], idx, now_ms, admit_seq++));
         }
         report.peak_active = std::max(
             report.peak_active, static_cast<int>(active.size()));
 
         if (active.empty()) {
-            // Idle: jump the virtual clock to the next arrival.
-            assert(next < trace.size());
+            // Idle: free slots exist, so pending must be drained —
+            // jump the virtual clock to the next arrival.
+            assert(pending.empty() && next < trace.size());
             now_ms = std::max(now_ms, trace[next].arrival_ms);
             continue;
         }
@@ -176,7 +238,8 @@ ContinuousBatcher::run(std::span<const ServingRequest> trace) const
         // parallelism.
         const auto t0 = std::chrono::steady_clock::now();
         parallelFor(pool, static_cast<int>(active.size()), [&](int i) {
-            stepSession(*active[static_cast<std::size_t>(i)], opt_);
+            stepSession(*active[static_cast<std::size_t>(i)], opt_,
+                        &pool);
         });
         now_ms += std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0).count();
@@ -187,8 +250,8 @@ ContinuousBatcher::run(std::span<const ServingRequest> trace) const
         for (auto &s : active) {
             if (s->decoded >= 1 && s->first_token_ms < 0.0)
                 s->first_token_ms = now_ms;
-            if (s->cache)
-                cache_bytes += s->cache->bytesUsed();
+            if (s->layer)
+                cache_bytes += s->layer->bytesUsed();
         }
         report.peak_cache_bytes =
             std::max(report.peak_cache_bytes, cache_bytes);
@@ -204,16 +267,20 @@ ContinuousBatcher::run(std::span<const ServingRequest> trace) const
             SessionStats &st = report.sessions[s.index];
             st.arrival_ms = s.req->arrival_ms;
             st.admit_ms = s.admit_ms;
+            st.admit_seq = s.admit_seq;
+            st.priority = s.req->priority;
             st.first_token_ms = s.first_token_ms;
             st.finish_ms = now_ms;
             st.prompt_len = s.req->prompt_len;
             st.decode_steps = s.req->decode_steps;
             st.checksum = s.checksum;
+            st.prefill_checksum = s.prefill_checksum;
 
             report.tokens_prefilled +=
                 static_cast<uint64_t>(s.prefilled);
             report.tokens_decoded += static_cast<uint64_t>(s.decoded);
             report.checksum ^= s.checksum;
+            report.prefill_checksum ^= s.prefill_checksum;
             latency.push_back(st.finish_ms - st.arrival_ms);
             // Prefill-only sessions never decode a token; they count
             // toward latency but not TTFT.

@@ -1,27 +1,38 @@
 /**
  * @file
- * Continuous-batching serving loop over incremental decode sessions.
+ * Continuous-batching serving loop over model-granularity sessions.
  *
  * The batcher turns the library from a per-head simulator into a
  * request-level serving engine: requests arrive on a (Poisson) trace,
  * are admitted into a bounded set of active *sessions*, and every
  * scheduling round advances each active session by one unit of work —
- * workload materialization, a prefill chunk, or one decoded token —
- * fanned across a ThreadPool. Finished sessions are evicted
+ * workload materialization, a scored prefill chunk, or one decoded
+ * token — fanned across a ThreadPool. Finished sessions are evicted
  * immediately (their KV pages freed), opening the slot for the next
  * queued request: the continuous-batching discipline, as opposed to
  * static batching where a batch drains at the pace of its longest
  * member.
  *
- * Each session owns a `KvCache` + `DecodeEngine` pair, so per-token
- * work is the incremental O(bits * head_dim) append plus the guarded
- * scan — never a re-pack of the history.
+ * Sessions are whole attention layers, not single heads: each owns a
+ * `LayerEngine` — one `KvCache` per KV head shared by heads/kv_heads
+ * grouped query heads (GQA) — so KV memory and append work scale with
+ * kv_heads while compute scales with heads. Prefill *scores*: each
+ * prefill round appends a chunk of prompt K/V and then runs guarded
+ * causal attention for every prompt position of the chunk,
+ * bit-identical to whole-prompt padeAttention (prefill outputs feed
+ * `SessionStats::prefill_checksum`; decode outputs feed `checksum`).
+ *
+ * Admission order: priority first (higher `ServingRequest::priority`
+ * wins), arrival/trace order as the tie-break — deterministic for any
+ * thread count. `SessionStats::admit_seq` records the resulting
+ * global admission sequence.
  *
  * Clock model: admission and latency run on a virtual clock that
  * advances by each round's measured host wall time, and jumps forward
  * to the next arrival when the engine is idle. Token *outputs* (and
- * the report checksum) are bit-deterministic for any thread count —
- * each session's computation is sequential and seeded — while latency
+ * the report checksums) are bit-deterministic for any thread count —
+ * each session's computation is sequential and seeded, and the
+ * in-session KV-head fan-out reduces in fixed order — while latency
  * *values* are host timings and therefore noisy; tests assert the
  * former and only shape properties of the latter.
  */
@@ -36,6 +47,7 @@
 
 #include "arch/run_metrics.h"
 #include "core/pade_attention.h"
+#include "serving/decode_engine.h"
 #include "workload/generator.h"
 
 namespace pade {
@@ -45,13 +57,16 @@ struct BatcherOptions
 {
     int threads = 0;       //!< pool workers; 0 = hardware threads
     int max_active = 4;    //!< concurrent sessions (slots)
-    int prefill_chunk = 64; //!< prompt tokens appended per round
-    int head_dim = 64;     //!< per-session attention head geometry
+    int prefill_chunk = 64; //!< prompt tokens appended+scored per round
+    int heads = 1;         //!< query heads per session layer
+    int kv_heads = 1;      //!< shared K/V streams (< heads => GQA)
+    int head_dim = 64;     //!< per-head geometry
     int bits = 8;
     int page_tokens = 256; //!< KvCache page capacity
     double concentration = 1.0; //!< workload-generator knobs
     double locality = 0.5;
     PadeConfig pade;       //!< decode algorithm configuration
+    RetentionPolicy retention; //!< optional sink+recency KV eviction
 };
 
 /** Per-request timeline, index-aligned with the input trace. */
@@ -59,13 +74,16 @@ struct SessionStats
 {
     double arrival_ms = 0.0;
     double admit_ms = 0.0;       //!< slot granted (queueing ends)
+    int admit_seq = -1;          //!< global admission order (0-based)
+    int priority = 0;            //!< scheduling class of the request
     /** First decoded token done; -1 for prefill-only requests
      *  (decode_steps == 0), which are excluded from ttft_ms. */
     double first_token_ms = 0.0;
     double finish_ms = 0.0;      //!< last token done, session evicted
     int prompt_len = 0;
     int decode_steps = 0;
-    uint64_t checksum = 0;       //!< mixed bits of every output token
+    uint64_t checksum = 0;         //!< mixed bits of decoded outputs
+    uint64_t prefill_checksum = 0; //!< mixed bits of prefill outputs
 };
 
 /** Aggregate of one serving run. */
@@ -82,8 +100,10 @@ struct ServingReport
     int rounds = 0;
     int peak_active = 0;           //!< most simultaneous sessions
     std::size_t peak_cache_bytes = 0; //!< max resident KV bytes
-    /** XOR of session checksums: thread-count invariant. */
+    /** XOR of session decode checksums: thread-count invariant. */
     uint64_t checksum = 0;
+    /** XOR of session prefill checksums: thread-count invariant. */
+    uint64_t prefill_checksum = 0;
 };
 
 /**

@@ -1,28 +1,79 @@
 #include "serving/decode_engine.h"
 
-#include <algorithm>
 #include <cassert>
 
-#include "core/bui.h"
-#include "core/guard_filter.h"
-#include "core/simd/qk_avx2.h"
+#include "core/bit_serial.h"
 
 namespace pade {
 
-DecodeEngine::DecodeEngine(PadeConfig cfg) : cfg_(cfg)
+DecodeEngine::DecodeEngine(PadeConfig cfg, RetentionPolicy retention)
+    : cfg_(cfg), retention_(retention)
 {
+    assert(retention_.sink_tokens >= 0 &&
+           retention_.recency_tokens >= 0);
 }
 
 DecodeStep
 DecodeEngine::step(const KvCache &cache, std::span<const int8_t> q,
                    float logit_scale, std::span<float> out)
 {
+    qs_.assign(1, q);
+    outs_.assign(1, out);
+    // A decode query sits at the stream tail: it sees every cached
+    // token, and the scan order spans exactly the cache.
+    return runGroup(cache, cache.size() - 1, cache.size(),
+                    logit_scale);
+}
+
+DecodeStep
+DecodeEngine::stepGroup(const KvCache &cache, const MatrixI8 &q,
+                        int q_row0, int group, float logit_scale,
+                        MatrixF &out, int out_row0)
+{
+    assert(group >= 1);
+    qs_.resize(static_cast<std::size_t>(group));
+    outs_.resize(static_cast<std::size_t>(group));
+    for (int g = 0; g < group; g++) {
+        qs_[static_cast<std::size_t>(g)] = q.row(q_row0 + g);
+        outs_[static_cast<std::size_t>(g)] = out.row(out_row0 + g);
+    }
+    return runGroup(cache, cache.size() - 1, cache.size(),
+                    logit_scale);
+}
+
+DecodeStep
+DecodeEngine::prefillGroup(const KvCache &cache, const MatrixI8 &q,
+                           int q_row0, int group, int qpos,
+                           int prompt_len, float logit_scale,
+                           MatrixF &out, int out_row0)
+{
+    assert(group >= 1);
+    assert(qpos >= 0 && qpos < prompt_len);
+    // The chunk containing qpos must already be appended; later
+    // prompt tokens may or may not be — the causal skip masks both
+    // the not-yet-cached tail and the in-cache tokens past qpos.
+    assert(cache.size() > qpos);
+    qs_.resize(static_cast<std::size_t>(group));
+    outs_.resize(static_cast<std::size_t>(group));
+    for (int g = 0; g < group; g++) {
+        qs_[static_cast<std::size_t>(g)] = q.row(q_row0 + g);
+        outs_[static_cast<std::size_t>(g)] = out.row(out_row0 + g);
+    }
+    return runGroup(cache, qpos, prompt_len, logit_scale);
+}
+
+DecodeStep
+DecodeEngine::runGroup(const KvCache &cache, int qpos, int order_len,
+                       float logit_scale)
+{
     const KvCacheConfig &kc = cache.config();
-    const int s = cache.size();
     const int h = kc.head_dim;
     const int bits = kc.bits;
-    assert(static_cast<int>(q.size()) == h);
-    assert(static_cast<int>(out.size()) == h);
+    const int g = static_cast<int>(qs_.size());
+    for (const auto &q : qs_)
+        assert(static_cast<int>(q.size()) == h);
+    for (const auto &o : outs_)
+        assert(static_cast<int>(o.size()) == h);
     // The cached PlaneWork entries were computed with the cache's GSAT
     // geometry; the stats are only comparable to padeAttention when
     // the algorithm config agrees.
@@ -32,97 +83,144 @@ DecodeEngine::step(const KvCache &cache, std::span<const int8_t> q,
     // + PADE_QK_KERNEL override + capability clamp.
     const QkKernel kernel = resolveQkKernel(cfg_.qk_kernel);
     const bool packed_qk = kernel != QkKernel::kScalar;
-    if (packed_qk)
-        qplanes_.assign(q);
     const bool simd_qk = kernel == QkKernel::kSimd;
-    const simd::QPlaneView qview =
-        simd_qk ? qplanes_.simdView() : simd::QPlaneView{};
 
-    const BuiTable bui = computeBuiTable(q, bits);
-    GuardFilter guard(cfg_.alpha, cfg_.radius, logit_scale);
+    // Stage per-head query state once per step. Everything below the
+    // key loop reads it; nothing rebuilds per key.
+    if (static_cast<int>(heads_.size()) < g)
+        heads_.resize(static_cast<std::size_t>(g));
+    group_ = g;
+    for (int gi = 0; gi < g; gi++) {
+        HeadState &hs = heads_[static_cast<std::size_t>(gi)];
+        if (packed_qk)
+            hs.qplanes.assign(qs_[static_cast<std::size_t>(gi)]);
+        hs.qview =
+            simd_qk ? hs.qplanes.simdView() : simd::QPlaneView{};
+        hs.bui = computeBuiTable(qs_[static_cast<std::size_t>(gi)],
+                                 bits);
+        hs.guard = GuardFilter(cfg_.alpha, cfg_.radius, logit_scale);
+        hs.planes.assign(static_cast<std::size_t>(order_len), 0);
+        hs.keep.assign(static_cast<std::size_t>(order_len), 0);
+        hs.retained.clear();
+        hs.retained_scores.clear();
+    }
 
-    istaScanOrderInto(s, cfg_.tile_bc, cfg_.head_tail, order_);
-    planes_.assign(static_cast<std::size_t>(s), 0);
-    keep_.assign(static_cast<std::size_t>(s), 0);
-    retained_.clear();
-    retained_scores_.clear();
+    istaScanOrderInto(order_len, cfg_.tile_bc, cfg_.head_tail, order_);
 
     DecodeStep res;
-    res.keys = s;
     const uint64_t planes_before = stats_.planes_processed;
+    const int first_live = cache.firstLiveToken();
+    const bool windowed = retention_.enabled();
+    // The retention window is relative to the stream AS THE QUERY
+    // SEES IT — tokens 0..qpos — not to the append frontier. During
+    // chunked prefill the cache may already hold tokens past qpos;
+    // anchoring the recency window at qpos + 1 keeps prefill outputs
+    // independent of the chunking (and for decode, qpos + 1 == s).
+    const int stream_len = qpos + 1;
 
-    // The padeAttention inner loop, with the global key index mapped
-    // onto (page, page-local row). A single query at the stream tail
-    // sees every cached token, so no causal skip applies.
+    // The padeAttention inner loop, key-outer / query-head-inner: the
+    // (page, row) mapping, the packed plane row, and the cached
+    // PlaneWork entries are KV-head state — resolved once per key and
+    // reused by every query head of the group. Skips (causal,
+    // evicted, outside the retention window) happen before any stats,
+    // exactly like padeAttention's causal skip.
     for (int j : order_) {
+        if (j > qpos)
+            continue; // causal / not yet prefilled
+        if (j < first_live)
+            continue; // evicted pages
+        if (windowed && !retention_.keeps(j, stream_len))
+            continue; // outside the sink+recency window
         const int page = cache.pageOf(j);
         const int local = cache.rowOf(j);
         const BitPlaneSet &kp = cache.pagePlanes(page);
         const PlaneWork *wrow = cache.pageWork(page).data() +
             static_cast<std::size_t>(local) * bits;
-        stats_.keys_total++;
-        stats_.planes_total += static_cast<uint64_t>(bits);
+        res.keys++;
 
-        int64_t score = 0;
-        bool pruned = false;
-        for (int r = 0; r < bits; r++) {
-            score += simd_qk
-                ? static_cast<int64_t>(kp.planeWeight(r)) *
-                    simd::maskedSumAvx2(qview,
-                                        kp.plane(local, r).data(),
-                                        kp.wordsPerPlane())
-                : packed_qk ? planeDelta(qplanes_, kp, local, r)
-                            : planeDeltaScalar(q, kp, local, r);
-            planes_[static_cast<std::size_t>(j)] =
-                static_cast<uint8_t>(r + 1);
-            stats_.planes_processed++;
+        for (int gi = 0; gi < g; gi++) {
+            HeadState &hs = heads_[static_cast<std::size_t>(gi)];
+            stats_.keys_total++;
+            stats_.planes_total += static_cast<uint64_t>(bits);
 
-            const PlaneWork &w = wrow[r];
-            stats_.ops_bs += static_cast<uint64_t>(w.selected_bs);
-            stats_.ops_naive += static_cast<uint64_t>(w.selected_naive);
+            int64_t score = 0;
+            bool pruned = false;
+            for (int r = 0; r < bits; r++) {
+                score += simd_qk
+                    ? static_cast<int64_t>(kp.planeWeight(r)) *
+                        simd::maskedSumAvx2(hs.qview,
+                                            kp.plane(local, r).data(),
+                                            kp.wordsPerPlane())
+                    : packed_qk
+                    ? planeDelta(hs.qplanes, kp, local, r)
+                    : planeDeltaScalar(
+                          qs_[static_cast<std::size_t>(gi)], kp,
+                          local, r);
+                hs.planes[static_cast<std::size_t>(j)] =
+                    static_cast<uint8_t>(r + 1);
+                stats_.planes_processed++;
 
-            guard.observe(score + bui.lower(r));
-            if (cfg_.guard_enabled &&
-                guard.shouldPrune(score + bui.upper(r))) {
-                pruned = true;
-                break;
+                const PlaneWork &w = wrow[r];
+                stats_.ops_bs +=
+                    static_cast<uint64_t>(w.selected_bs);
+                stats_.ops_naive +=
+                    static_cast<uint64_t>(w.selected_naive);
+
+                hs.guard.observe(score + hs.bui.lower(r));
+                if (cfg_.guard_enabled &&
+                    hs.guard.shouldPrune(score + hs.bui.upper(r))) {
+                    pruned = true;
+                    break;
+                }
+            }
+            if (!pruned) {
+                hs.keep[static_cast<std::size_t>(j)] = 1;
+                stats_.keys_retained++;
+                hs.retained.push_back(j);
+                hs.retained_scores.push_back(score);
             }
         }
-        if (!pruned) {
-            keep_[static_cast<std::size_t>(j)] = 1;
-            stats_.keys_retained++;
-            retained_.push_back(j);
-            retained_scores_.push_back(score);
-        }
     }
-    stats_.threshold_updates += guard.updates();
-    res.retained = static_cast<int>(retained_.size());
+    for (int gi = 0; gi < g; gi++) {
+        stats_.threshold_updates +=
+            heads_[static_cast<std::size_t>(gi)].guard.updates();
+        res.retained += static_cast<int>(
+            heads_[static_cast<std::size_t>(gi)].retained.size());
+    }
     res.planes = stats_.planes_processed - planes_before;
 
-    // ISTA value stage over the retained tokens, tiled by Bc in scan
-    // order — the identical float sequence to padeAttention's
+    // ISTA value stage per head, tiled by Bc in scan order — the
+    // identical float sequence to padeAttention's
     // update(scores, vf, ids) path, with value rows gathered from the
-    // cache pages instead of one contiguous matrix.
-    softmax_.reset(h);
+    // cache pages instead of one contiguous matrix. Heads run
+    // sequentially through the one shared accumulator; reset() re-arms
+    // it without allocation.
     tile_scores_.resize(static_cast<std::size_t>(cfg_.tile_bc));
-    for (std::size_t base = 0; base < retained_.size();
-         base += static_cast<std::size_t>(cfg_.tile_bc)) {
-        const std::size_t hi =
-            std::min(retained_.size(),
-                     base + static_cast<std::size_t>(cfg_.tile_bc));
-        const std::size_t n = hi - base;
-        tile_rows_.resize(n);
-        for (std::size_t t = 0; t < n; t++) {
-            tile_scores_[t] = logit_scale *
-                static_cast<float>(retained_scores_[base + t]);
-            tile_rows_[t] = cache.valueRow(retained_[base + t]);
+    for (int gi = 0; gi < g; gi++) {
+        HeadState &hs = heads_[static_cast<std::size_t>(gi)];
+        softmax_.reset(h);
+        for (std::size_t base = 0; base < hs.retained.size();
+             base += static_cast<std::size_t>(cfg_.tile_bc)) {
+            const std::size_t hi = std::min(
+                hs.retained.size(),
+                base + static_cast<std::size_t>(cfg_.tile_bc));
+            const std::size_t n = hi - base;
+            tile_rows_.resize(n);
+            for (std::size_t t = 0; t < n; t++) {
+                tile_scores_[t] = logit_scale *
+                    static_cast<float>(
+                        hs.retained_scores[base + t]);
+                tile_rows_[t] =
+                    cache.valueRow(hs.retained[base + t]);
+            }
+            softmax_.update(
+                std::span<const float>(tile_scores_).first(n),
+                tile_rows_);
         }
-        softmax_.update(
-            std::span<const float>(tile_scores_).first(n), tile_rows_);
+        stats_.max_updates += softmax_.maxUpdates();
+        stats_.rescale_ops += softmax_.rescaleOps();
+        softmax_.finalizeInto(outs_[static_cast<std::size_t>(gi)]);
     }
-    stats_.max_updates += softmax_.maxUpdates();
-    stats_.rescale_ops += softmax_.rescaleOps();
-    softmax_.finalizeInto(out);
     return res;
 }
 

@@ -45,6 +45,20 @@ KvCache::appendToken(std::span<const int8_t> k_row,
     tokens_++;
 }
 
+void
+KvCache::dropPagesBefore(int token)
+{
+    assert(token >= 0);
+    // Whole pages only: the page containing `token` (and any partial
+    // tail) always survives. token / page_tokens is the first page
+    // with a row >= token, so everything strictly below it is dead.
+    const int target = std::min(token, tokens_) / cfg_.page_tokens;
+    while (first_live_page_ < target && !pages_.empty()) {
+        pages_.pop_front();
+        first_live_page_++;
+    }
+}
+
 std::size_t
 KvCache::bytesUsed() const
 {

@@ -71,9 +71,36 @@ class KvCache
 
     const KvCacheConfig &config() const { return cfg_; }
 
-    /** Tokens currently cached. */
+    /** Tokens appended so far (evicted tokens still count). */
     int size() const { return tokens_; }
-    int numPages() const { return static_cast<int>(pages_.size()); }
+    /** Logical pages ever opened (dropped pages included). */
+    int
+    numPages() const
+    {
+        return first_live_page_ + static_cast<int>(pages_.size());
+    }
+    /** Pages still resident (numPages() minus dropped pages). */
+    int livePages() const { return static_cast<int>(pages_.size()); }
+
+    /**
+     * First token whose page is still resident. Token indices are
+     * stable across eviction — dropPagesBefore() frees storage but
+     * never renumbers — so consumers skip tokens below this bound
+     * instead of re-indexing.
+     */
+    int firstLiveToken() const
+    {
+        return first_live_page_ * cfg_.page_tokens;
+    }
+
+    /**
+     * Free every page whose tokens all precede @p token (whole pages
+     * only; the page containing @p token survives). Spans handed out
+     * for surviving pages stay valid; accessors for dropped tokens
+     * assert. This is the eviction primitive behind sliding-window /
+     * StreamingLLM retention (see RetentionPolicy in decode_engine.h).
+     */
+    void dropPagesBefore(int token);
 
     /** Page holding token @p token. */
     int
@@ -102,16 +129,14 @@ class KvCache
     const BitPlaneSet &
     pagePlanes(int page) const
     {
-        assert(page >= 0 && page < numPages());
-        return pages_[static_cast<std::size_t>(page)].planes;
+        return livePage(page).planes;
     }
 
     /** Dequantized value row of global token @p token. */
     std::span<const float>
     valueRow(int token) const
     {
-        return pages_[static_cast<std::size_t>(pageOf(token))]
-            .values.row(rowOf(token));
+        return livePage(pageOf(token)).values.row(rowOf(token));
     }
 
     /** Cached PlaneWork of (token, plane). */
@@ -119,7 +144,7 @@ class KvCache
     work(int token, int plane) const
     {
         assert(plane >= 0 && plane < cfg_.bits);
-        const Page &p = pages_[static_cast<std::size_t>(pageOf(token))];
+        const Page &p = livePage(pageOf(token));
         return p.work[static_cast<std::size_t>(rowOf(token)) *
                           cfg_.bits +
                       plane];
@@ -134,8 +159,7 @@ class KvCache
     std::span<const PlaneWork>
     pageWork(int page) const
     {
-        assert(page >= 0 && page < numPages());
-        return pages_[static_cast<std::size_t>(page)].work;
+        return livePage(page).work;
     }
 
     /**
@@ -155,9 +179,24 @@ class KvCache
         std::vector<PlaneWork> work; //!< used * bits entries
     };
 
+    /** Page @p page, which must not have been dropped. */
+    const Page &
+    livePage(int page) const
+    {
+        assert(page >= first_live_page_ && page < numPages());
+        return pages_[static_cast<std::size_t>(page -
+                                               first_live_page_)];
+    }
+
     KvCacheConfig cfg_;
-    /** Deque: page addresses are stable across appends. */
+    /**
+     * Resident pages, front-dropped by eviction: deque slot i holds
+     * logical page first_live_page_ + i. Deque: page addresses are
+     * stable across appends, and pop_front leaves the survivors'
+     * addresses untouched.
+     */
     std::deque<Page> pages_;
+    int first_live_page_ = 0;
     int tokens_ = 0;
 };
 

@@ -116,12 +116,72 @@ quantizeHead(const AttentionHead &head, int bits)
                          head.scale);
 }
 
+LayerSpec
+LayerSpec::withModel(const ModelConfig &m) const
+{
+    LayerSpec spec = *this;
+    spec.heads = m.heads;
+    spec.kv_heads = m.kv_heads;
+    spec.head_dim = m.head_dim;
+    spec.concentration = m.concentration;
+    return spec;
+}
+
+void
+LayerWorkload::stageKv(int pos, MatrixI8 &k, MatrixI8 &v) const
+{
+    assert(k.rows() == spec.kv_heads && v.rows() == spec.kv_heads);
+    for (int kv = 0; kv < spec.kv_heads; kv++) {
+        const QuantizedHead &g = groups[static_cast<std::size_t>(kv)];
+        std::ranges::copy(g.k.values.row(pos), k.row(kv).begin());
+        std::ranges::copy(g.v.values.row(pos), v.row(kv).begin());
+    }
+}
+
+void
+LayerWorkload::stageQueries(int pos, MatrixI8 &q) const
+{
+    assert(q.rows() == spec.heads);
+    for (int h = 0; h < spec.heads; h++)
+        std::ranges::copy(groupOf(h).q.values.row(queryRow(h, pos)),
+                          q.row(h).begin());
+}
+
+LayerWorkload
+generateLayerWorkload(const LayerSpec &spec)
+{
+    assert(spec.heads >= 1 && spec.kv_heads >= 1);
+    assert(spec.heads % spec.kv_heads == 0);
+    assert(spec.positions() >= 1);
+
+    LayerWorkload layer;
+    layer.spec = spec;
+    layer.groups.reserve(static_cast<std::size_t>(spec.kv_heads));
+    for (int kv = 0; kv < spec.kv_heads; kv++) {
+        WorkloadSpec ws;
+        ws.seq_len = spec.positions();
+        ws.query_len = spec.groupSize() * spec.positions();
+        ws.head_dim = spec.head_dim;
+        ws.concentration = spec.concentration;
+        ws.locality = spec.locality;
+        // Derived from (layer seed, KV head index) only, so layers
+        // regenerate identically and KV heads stay independent.
+        uint64_t state = spec.seed +
+            static_cast<uint64_t>(kv + 1) * 0x9e3779b97f4a7c15ULL;
+        ws.seed = splitMix64(state);
+        layer.groups.push_back(
+            quantizeHead(generateHead(ws), spec.bits));
+    }
+    return layer;
+}
+
 std::vector<ServingRequest>
 poissonArrivalTrace(const TraceSpec &spec)
 {
     assert(spec.num_requests >= 0 && spec.rate_per_s > 0.0);
     assert(spec.prompt_min >= 1 && spec.prompt_max >= spec.prompt_min);
     assert(spec.decode_min >= 1 && spec.decode_max >= spec.decode_min);
+    assert(spec.priority_levels >= 1);
 
     Rng rng(spec.seed);
     std::vector<ServingRequest> trace;
@@ -143,6 +203,12 @@ poissonArrivalTrace(const TraceSpec &spec)
         req.prompt_len = std::max(spec.prompt_min, req.prompt_len);
         req.decode_steps = static_cast<int>(
             rng.range(spec.decode_min, spec.decode_max));
+        // Drawn only for multi-class traces: single-class specs must
+        // keep the historical RNG stream (and thus regenerate
+        // byte-identical traces).
+        if (spec.priority_levels > 1)
+            req.priority = static_cast<int>(
+                rng.range(0, spec.priority_levels - 1));
         // Per-request workload seed: derived from (trace seed, index)
         // only, so traces re-generate identically.
         uint64_t state = spec.seed +

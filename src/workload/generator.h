@@ -22,6 +22,7 @@
 #ifndef PADE_WORKLOAD_GENERATOR_H
 #define PADE_WORKLOAD_GENERATOR_H
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -83,6 +84,85 @@ AttentionHead generateHead(const WorkloadSpec &spec);
 QuantizedHead quantizeHead(const AttentionHead &head, int bits = 8);
 
 /**
+ * Specification of one transformer layer's attention workload with
+ * GQA structure: `heads` query heads grouped onto `kv_heads` shared
+ * K/V streams (kv_heads must divide heads). Every query head carries
+ * one query row per *position* — prompt positions feed the scored
+ * chunked-prefill path, decode positions feed autoregressive decode —
+ * so a layer workload drives both serving stages.
+ */
+struct LayerSpec
+{
+    int heads = 1;
+    int kv_heads = 1;
+    int head_dim = 64;
+    int prompt_len = 0;   //!< prompt positions (prefilled + scored)
+    int decode_steps = 0; //!< decode positions
+    int bits = 8;         //!< quantization bit-width
+    double concentration = 1.0;
+    double locality = 0.5;
+    uint64_t seed = 1;
+
+    int groupSize() const { return heads / kv_heads; }
+    int positions() const { return prompt_len + decode_steps; }
+
+    /** Adopt a model preset's GQA geometry (heads/kv_heads/head_dim,
+     *  concentration), keeping the serving knobs of *this. */
+    LayerSpec withModel(const ModelConfig &m) const;
+};
+
+/**
+ * One layer's quantized operands: a QuantizedHead per KV head whose
+ * K/V rows are the shared stream and whose query matrix stacks the
+ * group's query heads head-major — query head h (global), position
+ * pos lives at row `queryRow(h, pos)` of `groups[h / groupSize()]`.
+ * Quantization is per KV-head group (one scale for the group's
+ * stacked queries), so every query head of a group shares its group's
+ * logit_scale — the property that lets a grouped scan score against
+ * one plane set with one integer->logit factor.
+ */
+struct LayerWorkload
+{
+    LayerSpec spec;
+    std::vector<QuantizedHead> groups; //!< one per KV head
+
+    const QuantizedHead &
+    groupOf(int head) const
+    {
+        return groups[static_cast<std::size_t>(head /
+                                               spec.groupSize())];
+    }
+    /** Row of query head @p head, position @p pos inside its group's
+     *  q matrix (head-major: a head's positions are contiguous). */
+    int
+    queryRow(int head, int pos) const
+    {
+        return (head % spec.groupSize()) * spec.positions() + pos;
+    }
+
+    /**
+     * Stage position @p pos into the head-major matrices LayerEngine
+     * consumes: row kv of @p k / @p v is KV head kv's key/value row
+     * (kv_heads x head_dim). The single owner of the row-layout
+     * convention — batcher, examples, benches, and tests all stage
+     * through here.
+     */
+    void stageKv(int pos, MatrixI8 &k, MatrixI8 &v) const;
+
+    /** Stage every query head's row for position @p pos
+     *  (heads x head_dim; row h = query head h). */
+    void stageQueries(int pos, MatrixI8 &q) const;
+};
+
+/**
+ * Generate a layer workload per @p spec: KV head kv is a synthetic
+ * attention head (generateHead) with seq_len = positions() and
+ * groupSize() * positions() query rows, seeded from (spec.seed, kv)
+ * only — fully deterministic, KV heads independent.
+ */
+LayerWorkload generateLayerWorkload(const LayerSpec &spec);
+
+/**
  * Measured sparsity oracle: the fraction of (query, key) pairs whose
  * softmax probability is below @p mass_epsilon of the row max. Gives a
  * workload-intrinsic upper bound on exploitable sparsity.
@@ -106,6 +186,13 @@ struct TraceSpec
     int prompt_max = 256;
     int decode_min = 8;        //!< uniform decode-step bounds
     int decode_max = 32;
+    /**
+     * Scheduling priority classes: requests draw a uniform priority
+     * in [0, priority_levels) (higher = more urgent). 1 leaves every
+     * request at priority 0 AND draws nothing from the RNG, so
+     * existing single-class traces regenerate byte-identically.
+     */
+    int priority_levels = 1;
     uint64_t seed = 1;
 };
 
@@ -115,6 +202,7 @@ struct ServingRequest
     double arrival_ms = 0.0; //!< arrival offset from trace start
     int prompt_len = 0;      //!< prompt tokens to prefill
     int decode_steps = 0;    //!< tokens to generate
+    int priority = 0;        //!< scheduling class (higher first)
     uint64_t seed = 0;       //!< per-request workload seed
 };
 

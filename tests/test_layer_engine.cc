@@ -1,0 +1,725 @@
+/**
+ * @file
+ * Model-granularity serving tests: GQA grouped execution against the
+ * per-head-private-cache oracle, chunked-prefill bit-identity with
+ * whole-prompt causal padeAttention, KV retention/eviction, and the
+ * deterministic KV-head fan-out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/pade_attention.h"
+#include "core/simd/qk_dispatch.h"
+#include "runtime/thread_pool.h"
+#include "serving/decode_engine.h"
+#include "serving/kv_cache.h"
+#include "serving/layer_engine.h"
+#include "workload/generator.h"
+
+namespace pade {
+namespace {
+
+/** Bitwise float-row comparison (the exactness bar of PRs 2-5). */
+void
+expectRowsBitEqual(std::span<const float> a, std::span<const float> b,
+                   const char *what)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t d = 0; d < a.size(); d++)
+        EXPECT_EQ(std::bit_cast<uint32_t>(a[d]),
+                  std::bit_cast<uint32_t>(b[d]))
+            << what << " dim " << d;
+}
+
+void
+expectStatsEqual(const PruneStats &a, const PruneStats &b)
+{
+    EXPECT_EQ(a.planes_processed, b.planes_processed);
+    EXPECT_EQ(a.planes_total, b.planes_total);
+    EXPECT_EQ(a.keys_retained, b.keys_retained);
+    EXPECT_EQ(a.keys_total, b.keys_total);
+    EXPECT_EQ(a.ops_bs, b.ops_bs);
+    EXPECT_EQ(a.ops_naive, b.ops_naive);
+    EXPECT_EQ(a.max_updates, b.max_updates);
+    EXPECT_EQ(a.rescale_ops, b.rescale_ops);
+    EXPECT_EQ(a.threshold_updates, b.threshold_updates);
+}
+
+LayerSpec
+smallSpec(int heads, int kv_heads, int head_dim, int bits, int prompt,
+          int steps, uint64_t seed)
+{
+    LayerSpec spec;
+    spec.heads = heads;
+    spec.kv_heads = kv_heads;
+    spec.head_dim = head_dim;
+    spec.bits = bits;
+    spec.prompt_len = prompt;
+    spec.decode_steps = steps;
+    spec.seed = seed;
+    return spec;
+}
+
+// ---------------------------------------------------------------------
+// Tentpole contract: grouped GQA decode == per-head private caches.
+// ---------------------------------------------------------------------
+
+/**
+ * The acceptance oracle: every query head of the layer decodes
+ * against its OWN private copy of its KV head's stream through the
+ * single-query step(), and the grouped layer execution must reproduce
+ * it bit for bit — outputs, keep masks, plane traces, retained lists,
+ * and summed statistics.
+ */
+void
+expectGqaMatchesPrivateCaches(int heads, int kv_heads, QkKernel kernel,
+                              int bits, int head_dim, int page_tokens,
+                              int pool_threads)
+{
+    const int prompt = 43;
+    const int steps = 3;
+    const LayerWorkload lw = generateLayerWorkload(
+        smallSpec(heads, kv_heads, head_dim, bits, prompt, steps,
+                  301u + static_cast<uint64_t>(heads * 31 + kv_heads)));
+    const int group = lw.spec.groupSize();
+
+    LayerEngineConfig lc;
+    lc.heads = heads;
+    lc.kv_heads = kv_heads;
+    lc.head_dim = head_dim;
+    lc.bits = bits;
+    lc.page_tokens = page_tokens;
+    lc.pade.qk_kernel = kernel;
+
+    std::vector<float> v_scales;
+    std::vector<float> logit_scales;
+    for (const QuantizedHead &g : lw.groups) {
+        v_scales.push_back(g.v.params.scale);
+        logit_scales.push_back(g.logit_scale);
+    }
+    LayerEngine layer(lc, v_scales);
+
+    // Oracle state: a private cache + engine per QUERY head, fed the
+    // same KV stream as the head's group.
+    std::vector<KvCache> priv_caches;
+    std::vector<DecodeEngine> priv_engines;
+    for (int h = 0; h < heads; h++) {
+        KvCacheConfig kc;
+        kc.head_dim = head_dim;
+        kc.bits = bits;
+        kc.page_tokens = page_tokens;
+        kc.v_scale = v_scales[static_cast<std::size_t>(h / group)];
+        priv_caches.emplace_back(kc);
+        priv_engines.emplace_back(lc.pade);
+    }
+
+    ThreadPool pool(pool_threads);
+    ThreadPool *pool_arg = pool_threads > 1 ? &pool : nullptr;
+
+    MatrixI8 k_stage(kv_heads, head_dim);
+    MatrixI8 v_stage(kv_heads, head_dim);
+    MatrixI8 q_stage(heads, head_dim);
+    MatrixF out(heads, head_dim);
+    std::vector<float> priv_out(static_cast<std::size_t>(head_dim));
+
+    const auto appendAll = [&](int pos) {
+        lw.stageKv(pos, k_stage, v_stage);
+        layer.appendToken(k_stage, v_stage);
+        for (int h = 0; h < heads; h++) {
+            const QuantizedHead &g = lw.groupOf(h);
+            priv_caches[static_cast<std::size_t>(h)].appendToken(
+                g.k.values.row(pos), g.v.values.row(pos));
+        }
+    };
+
+    for (int pos = 0; pos < prompt; pos++)
+        appendAll(pos);
+
+    for (int t = 0; t < steps; t++) {
+        const int pos = prompt + t;
+        appendAll(pos);
+        lw.stageQueries(pos, q_stage);
+        const LayerStep st =
+            layer.decode(q_stage, logit_scales, out, pool_arg);
+        EXPECT_EQ(st.keys, pos + 1);
+
+        int retained_sum = 0;
+        for (int h = 0; h < heads; h++) {
+            const int kv = h / group;
+            const int g = h % group;
+            const QuantizedHead &grp = lw.groupOf(h);
+            const DecodeStep ds =
+                priv_engines[static_cast<std::size_t>(h)].step(
+                    priv_caches[static_cast<std::size_t>(h)],
+                    grp.q.values.row(lw.queryRow(h, pos)),
+                    grp.logit_scale, priv_out);
+            retained_sum += ds.retained;
+
+            expectRowsBitEqual(out.row(h), priv_out, "decode out");
+
+            const DecodeEngine &ge = layer.engine(kv);
+            const DecodeEngine &pe =
+                priv_engines[static_cast<std::size_t>(h)];
+            auto gk = ge.lastKeep(g);
+            auto pk = pe.lastKeep();
+            auto gp = ge.lastPlanes(g);
+            auto pp = pe.lastPlanes();
+            ASSERT_EQ(gk.size(), pk.size());
+            for (std::size_t j = 0; j < gk.size(); j++) {
+                EXPECT_EQ(gk[j], pk[j]) << "keep " << j;
+                EXPECT_EQ(gp[j], pp[j]) << "planes " << j;
+            }
+            auto gr = ge.lastRetained(g);
+            auto pr = pe.lastRetained();
+            ASSERT_EQ(gr.size(), pr.size());
+            for (std::size_t j = 0; j < gr.size(); j++)
+                EXPECT_EQ(gr[j], pr[j]);
+        }
+        EXPECT_EQ(st.retained, retained_sum);
+    }
+
+    PruneStats priv_sum;
+    for (const DecodeEngine &e : priv_engines)
+        priv_sum += e.stats();
+    expectStatsEqual(layer.stats(), priv_sum);
+}
+
+TEST(LayerEngine, GqaParityAcrossKvHeadCounts)
+{
+    // The satellite matrix: kv_heads in {1, 4, heads} at heads = 8.
+    for (int kv_heads : {1, 4, 8})
+        expectGqaMatchesPrivateCaches(8, kv_heads,
+                                      QkKernel::kPopcount, 8, 64, 16,
+                                      1);
+}
+
+TEST(LayerEngine, GqaParityAllKernels)
+{
+    for (QkKernel k :
+         {QkKernel::kScalar, QkKernel::kPopcount, QkKernel::kSimd})
+        expectGqaMatchesPrivateCaches(4, 2, k, 8, 64, 16, 1);
+}
+
+TEST(LayerEngine, GqaParityOddHeadDimAndInt4)
+{
+    // Odd head_dims exercise the SIMD tail path; int4 the narrow
+    // planes; page_tokens = 10 puts page boundaries inside tiles.
+    for (QkKernel k :
+         {QkKernel::kScalar, QkKernel::kPopcount, QkKernel::kSimd}) {
+        expectGqaMatchesPrivateCaches(4, 1, k, 4, 65, 10, 1);
+        expectGqaMatchesPrivateCaches(4, 2, k, 4, 97, 16, 1);
+    }
+}
+
+TEST(LayerEngine, GqaParityWithThreadPoolFanOut)
+{
+    // The pooled KV-head fan-out must not change a single bit.
+    expectGqaMatchesPrivateCaches(8, 4, QkKernel::kPopcount, 8, 64,
+                                  16, 4);
+}
+
+// ---------------------------------------------------------------------
+// Chunked prefill == whole-prompt causal padeAttention.
+// ---------------------------------------------------------------------
+
+/**
+ * Score a full prompt through LayerEngine in chunks of @p chunk and
+ * compare, per query head, with ONE whole-prompt padeAttention call
+ * under cfg.causal — outputs, keep masks, plane traces, and the
+ * per-group stats totals must be bit-identical regardless of the
+ * chunking.
+ */
+void
+expectPrefillMatchesWholePrompt(int chunk, QkKernel kernel, int bits,
+                                int head_dim)
+{
+    const int heads = 4;
+    const int kv_heads = 2;
+    const int prompt = 52;
+    const LayerWorkload lw = generateLayerWorkload(smallSpec(
+        heads, kv_heads, head_dim, bits, prompt, 0,
+        700u + static_cast<uint64_t>(chunk)));
+    const int group = lw.spec.groupSize();
+
+    LayerEngineConfig lc;
+    lc.heads = heads;
+    lc.kv_heads = kv_heads;
+    lc.head_dim = head_dim;
+    lc.bits = bits;
+    lc.page_tokens = 16;
+    lc.pade.qk_kernel = kernel;
+
+    std::vector<float> v_scales;
+    std::vector<float> logit_scales;
+    for (const QuantizedHead &g : lw.groups) {
+        v_scales.push_back(g.v.params.scale);
+        logit_scales.push_back(g.logit_scale);
+    }
+    LayerEngine layer(lc, v_scales);
+
+    MatrixI8 k_stage(kv_heads, head_dim);
+    MatrixI8 v_stage(kv_heads, head_dim);
+    MatrixI8 q_stage(heads, head_dim);
+    MatrixF out(heads, head_dim);
+
+    // Chunked scored prefill, recording every position's outputs and
+    // per-head keep/plane traces as they stream out.
+    std::vector<MatrixF> outs(static_cast<std::size_t>(prompt));
+    std::vector<std::vector<std::vector<uint8_t>>> keeps(
+        static_cast<std::size_t>(heads));
+    std::vector<std::vector<std::vector<uint8_t>>> planes(
+        static_cast<std::size_t>(heads));
+    for (int h = 0; h < heads; h++) {
+        keeps[static_cast<std::size_t>(h)].resize(
+            static_cast<std::size_t>(prompt));
+        planes[static_cast<std::size_t>(h)].resize(
+            static_cast<std::size_t>(prompt));
+    }
+    for (int base = 0; base < prompt; base += chunk) {
+        const int n = std::min(chunk, prompt - base);
+        for (int t = 0; t < n; t++) {
+            lw.stageKv(base + t, k_stage, v_stage);
+            layer.appendToken(k_stage, v_stage);
+        }
+        for (int t = 0; t < n; t++) {
+            const int pos = base + t;
+            lw.stageQueries(pos, q_stage);
+            layer.prefillPosition(q_stage, pos, prompt, logit_scales,
+                                  out);
+            outs[static_cast<std::size_t>(pos)] = out;
+            for (int h = 0; h < heads; h++) {
+                const DecodeEngine &e = layer.engine(h / group);
+                auto k = e.lastKeep(h % group);
+                auto p = e.lastPlanes(h % group);
+                keeps[static_cast<std::size_t>(h)]
+                     [static_cast<std::size_t>(pos)]
+                         .assign(k.begin(), k.end());
+                planes[static_cast<std::size_t>(h)]
+                      [static_cast<std::size_t>(pos)]
+                          .assign(p.begin(), p.end());
+            }
+        }
+    }
+
+    // Whole-prompt reference per query head: its prompt query rows
+    // (shared group quantization params) against the group's K/V,
+    // causally masked. generateHead fixes scale = 1/sqrt(head_dim).
+    const float base_scale =
+        1.0f / std::sqrt(static_cast<float>(head_dim));
+    PadeConfig ref_cfg = lc.pade;
+    ref_cfg.causal = true;
+    std::vector<PruneStats> group_ref(
+        static_cast<std::size_t>(kv_heads));
+    for (int h = 0; h < heads; h++) {
+        const QuantizedHead &grp = lw.groupOf(h);
+        MatrixI8 qrows(prompt, head_dim);
+        for (int pos = 0; pos < prompt; pos++)
+            std::ranges::copy(
+                grp.q.values.row(lw.queryRow(h, pos)),
+                qrows.row(pos).begin());
+        MatrixI8 krows(prompt, head_dim);
+        MatrixI8 vrows(prompt, head_dim);
+        for (int pos = 0; pos < prompt; pos++) {
+            std::ranges::copy(grp.k.values.row(pos),
+                              krows.row(pos).begin());
+            std::ranges::copy(grp.v.values.row(pos),
+                              vrows.row(pos).begin());
+        }
+        const QuantizedHead ref(
+            Quantized{std::move(qrows), grp.q.params},
+            Quantized{std::move(krows), grp.k.params},
+            Quantized{std::move(vrows), grp.v.params}, bits,
+            base_scale);
+        ASSERT_EQ(ref.logit_scale, grp.logit_scale);
+        const PadeResult r = padeAttention(ref, ref_cfg);
+        group_ref[static_cast<std::size_t>(h / group)] += r.stats;
+
+        for (int pos = 0; pos < prompt; pos++) {
+            expectRowsBitEqual(
+                outs[static_cast<std::size_t>(pos)].row(h),
+                r.out.row(pos), "prefill out");
+            const auto &k = keeps[static_cast<std::size_t>(h)]
+                                 [static_cast<std::size_t>(pos)];
+            const auto &p = planes[static_cast<std::size_t>(h)]
+                                  [static_cast<std::size_t>(pos)];
+            ASSERT_EQ(static_cast<int>(k.size()), prompt);
+            for (int j = 0; j < prompt; j++) {
+                EXPECT_EQ(k[static_cast<std::size_t>(j)],
+                          r.keep.at(pos, j))
+                    << "head " << h << " pos " << pos << " key " << j;
+                EXPECT_EQ(p[static_cast<std::size_t>(j)],
+                          r.planes.at(pos, j))
+                    << "head " << h << " pos " << pos << " key " << j;
+            }
+        }
+    }
+    for (int kv = 0; kv < kv_heads; kv++)
+        expectStatsEqual(layer.engine(kv).stats(),
+                         group_ref[static_cast<std::size_t>(kv)]);
+}
+
+TEST(ChunkedPrefill, BitIdenticalToWholePromptAcrossChunkings)
+{
+    // Chunk sizes: sub-tile, tile-aligned, whole prompt at once.
+    for (int chunk : {7, 16, 52})
+        expectPrefillMatchesWholePrompt(chunk, QkKernel::kPopcount, 8,
+                                        64);
+}
+
+TEST(ChunkedPrefill, BitIdenticalForAllKernelsAndInt4)
+{
+    for (QkKernel k :
+         {QkKernel::kScalar, QkKernel::kPopcount, QkKernel::kSimd})
+        expectPrefillMatchesWholePrompt(16, k, 8, 64);
+    expectPrefillMatchesWholePrompt(16, QkKernel::kSimd, 4, 65);
+}
+
+// ---------------------------------------------------------------------
+// KV eviction: dropPagesBefore + the sink/recency retention policy.
+// ---------------------------------------------------------------------
+
+TEST(KvCacheEviction, DropPagesBeforeFreesWholePagesOnly)
+{
+    KvCacheConfig kc;
+    kc.head_dim = 16;
+    kc.page_tokens = 8;
+    KvCache cache(kc);
+    std::vector<int8_t> row(16, 1);
+    for (int t = 0; t < 26; t++)
+        cache.appendToken(row, row);
+    ASSERT_EQ(cache.numPages(), 4);
+    const std::size_t full_bytes = cache.bytesUsed();
+
+    // Token 9 lives in page 1: only page 0 is wholly before it.
+    cache.dropPagesBefore(9);
+    EXPECT_EQ(cache.firstLiveToken(), 8);
+    EXPECT_EQ(cache.numPages(), 4);
+    EXPECT_EQ(cache.livePages(), 3);
+    EXPECT_LT(cache.bytesUsed(), full_bytes);
+
+    // Surviving tokens keep their global indices and contents.
+    EXPECT_EQ(cache.pageOf(8), 1);
+    EXPECT_EQ(static_cast<int>(cache.valueRow(8).size()), 16);
+    EXPECT_EQ(cache.pagePlanes(cache.pageOf(20)).numRows(), 8);
+
+    // Dropping at a page boundary frees through the boundary; the
+    // partial tail page always survives.
+    cache.dropPagesBefore(24);
+    EXPECT_EQ(cache.firstLiveToken(), 24);
+    EXPECT_EQ(cache.livePages(), 1);
+    // Idempotent / monotonic: an earlier horizon is a no-op.
+    cache.dropPagesBefore(4);
+    EXPECT_EQ(cache.firstLiveToken(), 24);
+
+    // Appends continue normally after eviction.
+    for (int t = 26; t < 34; t++)
+        cache.appendToken(row, row);
+    EXPECT_EQ(cache.size(), 34);
+    EXPECT_EQ(cache.pageOf(33), 4);
+    EXPECT_EQ(cache.rowOf(33), 1);
+}
+
+TEST(Retention, WindowCoveringHistoryIsBitIdenticalToFullDecode)
+{
+    // The satellite contract: when nothing is actually evicted (the
+    // sink+recency window covers the whole history), retained-window
+    // decode equals full-history decode bit for bit.
+    const int head_dim = 48;
+    const int prompt = 40;
+    const int steps = 4;
+    WorkloadSpec spec;
+    spec.seq_len = prompt + steps;
+    spec.query_len = steps;
+    spec.head_dim = head_dim;
+    spec.seed = 88;
+    const QuantizedHead full = quantizeHead(generateHead(spec), 8);
+
+    KvCacheConfig kc;
+    kc.head_dim = head_dim;
+    kc.page_tokens = 16;
+    kc.v_scale = full.v.params.scale;
+    KvCache cache_a(kc);
+    KvCache cache_b(kc);
+
+    RetentionPolicy wide;
+    wide.sink_tokens = 8;
+    wide.recency_tokens = prompt + steps; // always covers everything
+    ASSERT_TRUE(wide.enabled());
+
+    DecodeEngine plain{PadeConfig{}};
+    DecodeEngine windowed{PadeConfig{}, wide};
+
+    std::vector<float> out_a(head_dim);
+    std::vector<float> out_b(head_dim);
+    for (int t = 0; t < prompt; t++) {
+        cache_a.appendToken(full.k.values.row(t), full.v.values.row(t));
+        cache_b.appendToken(full.k.values.row(t), full.v.values.row(t));
+    }
+    for (int t = 0; t < steps; t++) {
+        const int pos = prompt + t;
+        cache_a.appendToken(full.k.values.row(pos),
+                            full.v.values.row(pos));
+        cache_b.appendToken(full.k.values.row(pos),
+                            full.v.values.row(pos));
+        const DecodeStep a = plain.step(
+            cache_a, full.q.values.row(t), full.logit_scale, out_a);
+        const DecodeStep b = windowed.step(
+            cache_b, full.q.values.row(t), full.logit_scale, out_b);
+        windowed.applyRetention(cache_b);
+        EXPECT_EQ(cache_b.firstLiveToken(), 0); // sinks pin the head
+        EXPECT_EQ(a.keys, b.keys);
+        EXPECT_EQ(a.retained, b.retained);
+        EXPECT_EQ(a.planes, b.planes);
+        expectRowsBitEqual(out_a, out_b, "retention parity");
+        auto ka = plain.lastKeep();
+        auto kb = windowed.lastKeep();
+        ASSERT_EQ(ka.size(), kb.size());
+        for (std::size_t j = 0; j < ka.size(); j++)
+            EXPECT_EQ(ka[j], kb[j]);
+    }
+    expectStatsEqual(plain.stats(), windowed.stats());
+}
+
+TEST(Retention, SlidingWindowScansOnlyTheWindowAndReclaimsPages)
+{
+    const int head_dim = 32;
+    WorkloadSpec spec;
+    spec.seq_len = 40;
+    spec.query_len = 4;
+    spec.head_dim = head_dim;
+    spec.seed = 12;
+    const QuantizedHead full = quantizeHead(generateHead(spec), 8);
+
+    KvCacheConfig kc;
+    kc.head_dim = head_dim;
+    kc.page_tokens = 4;
+    kc.v_scale = full.v.params.scale;
+    KvCache cache(kc);
+
+    RetentionPolicy window;
+    window.sink_tokens = 0;
+    window.recency_tokens = 8;
+    DecodeEngine engine{PadeConfig{}, window};
+
+    std::vector<float> out(head_dim);
+    for (int t = 0; t < 36; t++)
+        cache.appendToken(full.k.values.row(t), full.v.values.row(t));
+    const DecodeStep st = engine.step(cache, full.q.values.row(0),
+                                      full.logit_scale, out);
+    EXPECT_EQ(st.keys, 8); // only the trailing window is visited
+    for (int id : engine.lastRetained())
+        EXPECT_GE(id, 36 - 8);
+
+    engine.applyRetention(cache);
+    // horizon = 36 - 8 = 28 -> pages 0..6 dropped (page_tokens = 4).
+    EXPECT_EQ(cache.firstLiveToken(), 28);
+    EXPECT_EQ(cache.livePages(), 2);
+
+    // Decode continues over the evicted cache.
+    cache.appendToken(full.k.values.row(36), full.v.values.row(36));
+    const DecodeStep st2 = engine.step(cache, full.q.values.row(1),
+                                       full.logit_scale, out);
+    EXPECT_EQ(st2.keys, 8);
+    for (float v : out)
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Retention, ScoredPrefillWindowIsChunkIndependent)
+{
+    // The retention window during prefill anchors at the query's own
+    // position (tokens 0..qpos), not at the append frontier — so the
+    // scored outputs are identical no matter how the prompt is
+    // chunked, and early positions always see their own (short)
+    // history rather than an empty window.
+    const int heads = 2;
+    const int prompt = 24;
+    const LayerWorkload lw = generateLayerWorkload(
+        smallSpec(heads, 1, 32, 8, prompt, 0, 44));
+    std::vector<float> v_scales{lw.groups[0].v.params.scale};
+    std::vector<float> logit_scales{lw.groups[0].logit_scale};
+
+    LayerEngineConfig lc;
+    lc.heads = heads;
+    lc.kv_heads = 1;
+    lc.head_dim = 32;
+    lc.page_tokens = 8;
+    lc.retention.sink_tokens = 0;
+    lc.retention.recency_tokens = 6;
+
+    auto runChunked = [&](int chunk) {
+        LayerEngine layer(lc, v_scales);
+        MatrixI8 k_stage(1, 32);
+        MatrixI8 v_stage(1, 32);
+        MatrixI8 q_stage(heads, 32);
+        MatrixF out(heads, 32);
+        std::vector<MatrixF> outs;
+        for (int base = 0; base < prompt; base += chunk) {
+            const int n = std::min(chunk, prompt - base);
+            for (int t = 0; t < n; t++) {
+                lw.stageKv(base + t, k_stage, v_stage);
+                layer.appendToken(k_stage, v_stage);
+            }
+            for (int t = 0; t < n; t++) {
+                const int pos = base + t;
+                lw.stageQueries(pos, q_stage);
+                layer.prefillPosition(q_stage, pos, prompt,
+                                      logit_scales, out);
+                outs.push_back(out);
+            }
+        }
+        return outs;
+    };
+    const auto whole = runChunked(prompt);
+    const auto tiled = runChunked(5);
+    ASSERT_EQ(whole.size(), tiled.size());
+    for (int pos = 0; pos < prompt; pos++)
+        for (int h = 0; h < heads; h++) {
+            expectRowsBitEqual(
+                whole[static_cast<std::size_t>(pos)].row(h),
+                tiled[static_cast<std::size_t>(pos)].row(h),
+                "windowed prefill");
+            for (float v :
+                 whole[static_cast<std::size_t>(pos)].row(h))
+                EXPECT_TRUE(std::isfinite(v))
+                    << "pos " << pos << " head " << h;
+        }
+}
+
+TEST(Retention, SinkPlusRecencyVisitsBothRegions)
+{
+    const int head_dim = 32;
+    WorkloadSpec spec;
+    spec.seq_len = 33;
+    spec.query_len = 1;
+    spec.head_dim = head_dim;
+    spec.seed = 9;
+    const QuantizedHead full = quantizeHead(generateHead(spec), 8);
+
+    KvCacheConfig kc;
+    kc.head_dim = head_dim;
+    kc.page_tokens = 8;
+    kc.v_scale = full.v.params.scale;
+    KvCache cache(kc);
+    for (int t = 0; t < 33; t++)
+        cache.appendToken(full.k.values.row(t), full.v.values.row(t));
+
+    RetentionPolicy policy;
+    policy.sink_tokens = 4;
+    policy.recency_tokens = 8;
+    DecodeEngine engine{PadeConfig{}, policy};
+    std::vector<float> out(head_dim);
+    const DecodeStep st = engine.step(cache, full.q.values.row(0),
+                                      full.logit_scale, out);
+    EXPECT_EQ(st.keys, 12); // 4 sinks + 8 recent
+    auto planes = engine.lastPlanes();
+    for (int j = 0; j < 33; j++) {
+        const bool in_window = j < 4 || j >= 33 - 8;
+        EXPECT_EQ(planes[static_cast<std::size_t>(j)] > 0, in_window)
+            << "token " << j;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload layer: GQA shapes.
+// ---------------------------------------------------------------------
+
+TEST(LayerWorkload, ShapesAndDeterminism)
+{
+    LayerSpec spec = smallSpec(8, 2, 32, 8, 10, 3, 5);
+    spec.concentration = 1.2;
+    const LayerWorkload a = generateLayerWorkload(spec);
+    const LayerWorkload b = generateLayerWorkload(spec);
+    ASSERT_EQ(a.groups.size(), 2u);
+    EXPECT_EQ(a.spec.groupSize(), 4);
+    for (int kv = 0; kv < 2; kv++) {
+        const QuantizedHead &g =
+            a.groups[static_cast<std::size_t>(kv)];
+        EXPECT_EQ(g.k.values.rows(), 13);
+        EXPECT_EQ(g.q.values.rows(), 4 * 13);
+        EXPECT_EQ(g.k.values.cols(), 32);
+        EXPECT_TRUE(g.k.values ==
+                    b.groups[static_cast<std::size_t>(kv)].k.values);
+        EXPECT_TRUE(g.q.values ==
+                    b.groups[static_cast<std::size_t>(kv)].q.values);
+    }
+    // KV heads are distinct streams.
+    EXPECT_FALSE(a.groups[0].k.values == a.groups[1].k.values);
+    // Head-major query rows: head h, position p.
+    EXPECT_EQ(a.queryRow(0, 0), 0);
+    EXPECT_EQ(a.queryRow(1, 2), 13 + 2);
+    EXPECT_EQ(a.queryRow(5, 2), 13 + 2); // second group, same slot
+    EXPECT_EQ(&a.groupOf(5), &a.groups[1]);
+}
+
+TEST(LayerWorkload, WithModelAdoptsGqaGeometry)
+{
+    const ModelConfig m = llama3_8b();
+    ASSERT_TRUE(m.isGqa());
+    LayerSpec spec = smallSpec(1, 1, 16, 8, 4, 2, 1).withModel(m);
+    EXPECT_EQ(spec.heads, m.heads);
+    EXPECT_EQ(spec.kv_heads, m.kv_heads);
+    EXPECT_EQ(spec.head_dim, m.head_dim);
+    EXPECT_EQ(spec.prompt_len, 4);
+    EXPECT_EQ(spec.decode_steps, 2);
+}
+
+// ---------------------------------------------------------------------
+// Workspace plane-table reuse (the GQA batch-level seam in core/).
+// ---------------------------------------------------------------------
+
+TEST(PlaneWorkReuse, WorkspaceSkipsRebuildForSamePlanes)
+{
+    WorkloadSpec spec;
+    spec.seq_len = 64;
+    spec.query_len = 4;
+    spec.head_dim = 32;
+    spec.seed = 3;
+    const QuantizedHead head = quantizeHead(generateHead(spec), 8);
+    const QuantizedHead other = quantizeHead(generateHead(spec), 8);
+
+    PadeWorkspace ws;
+    const PadeResult fresh = padeAttention(head, {}, nullptr);
+    const PadeResult first = padeAttention(head, {}, &ws);
+    EXPECT_EQ(ws.plane_work_builds, 1u);
+    const PadeResult second = padeAttention(head, {}, &ws);
+    EXPECT_EQ(ws.plane_work_builds, 1u); // reused, not rebuilt
+
+    // Reuse must be invisible in the numbers.
+    for (int i = 0; i < first.out.rows(); i++)
+        for (int d = 0; d < first.out.cols(); d++) {
+            EXPECT_EQ(std::bit_cast<uint32_t>(first.out.at(i, d)),
+                      std::bit_cast<uint32_t>(fresh.out.at(i, d)));
+            EXPECT_EQ(std::bit_cast<uint32_t>(second.out.at(i, d)),
+                      std::bit_cast<uint32_t>(fresh.out.at(i, d)));
+        }
+    expectStatsEqual(first.stats, fresh.stats);
+    expectStatsEqual(second.stats, fresh.stats);
+
+    // A different plane set rebuilds; different GSAT geometry too.
+    padeAttention(other, {}, &ws);
+    EXPECT_EQ(ws.plane_work_builds, 2u);
+    PadeConfig other_gsat;
+    other_gsat.subgroup = 16;
+    padeAttention(other, other_gsat, &ws);
+    EXPECT_EQ(ws.plane_work_builds, 3u);
+}
+
+TEST(PlaneWorkReuse, RevisionAdvancesOnAppend)
+{
+    BitPlaneSet planes(16, 8, 4);
+    const uint64_t r0 = planes.revision();
+    std::vector<int8_t> row(16, 3);
+    planes.appendToken(row);
+    EXPECT_NE(planes.revision(), r0);
+    BitPlaneSet other(16, 8, 4);
+    EXPECT_NE(other.revision(), planes.revision());
+}
+
+} // namespace
+} // namespace pade

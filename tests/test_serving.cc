@@ -480,11 +480,13 @@ TEST(ContinuousBatcher, TokenOutputsDeterministicAcrossThreadCounts)
 TEST(ContinuousBatcher, PrefillOnlyRequestCompletesItsPrompt)
 {
     // decode_steps == 0 is a legal prefill-only request: the batcher
-    // must still do the prompt work before evicting, must not emit a
-    // token, and must keep the (empty) TTFT sample set clean.
+    // must still do the prompt work — which is now *scored* chunked
+    // prefill, so it produces real outputs — before evicting, must
+    // not emit a decode token, and must keep the (empty) TTFT sample
+    // set clean.
     std::vector<ServingRequest> trace(2);
-    trace[0] = {0.0, 12, 0, 5};
-    trace[1] = {0.0, 7, 0, 6};
+    trace[0] = {0.0, 12, 0, 0, 5};
+    trace[1] = {0.0, 7, 0, 0, 6};
 
     BatcherOptions opt;
     opt.threads = 1;
@@ -495,12 +497,106 @@ TEST(ContinuousBatcher, PrefillOnlyRequestCompletesItsPrompt)
     EXPECT_EQ(rep.tokens_prefilled, 19u);
     EXPECT_EQ(rep.tokens_decoded, 0u);
     EXPECT_EQ(rep.checksum, 0u);
+    EXPECT_NE(rep.prefill_checksum, 0u);
     for (const SessionStats &s : rep.sessions) {
         EXPECT_GE(s.finish_ms, s.admit_ms);
         EXPECT_LT(s.first_token_ms, 0.0);
+        EXPECT_NE(s.prefill_checksum, 0u);
     }
     EXPECT_EQ(rep.ttft_ms.p50, 0.0);
     EXPECT_GT(rep.latency_ms.p50, 0.0);
+}
+
+TEST(ContinuousBatcher, PriorityThenArrivalAdmission)
+{
+    // Four same-instant arrivals, one slot: admission must follow
+    // priority (higher first) with trace order as the tie-break, and
+    // the timeline must record both the class and the global
+    // admission sequence.
+    std::vector<ServingRequest> trace(4);
+    trace[0] = {0.0, 8, 2, 0, 11};
+    trace[1] = {0.0, 8, 2, 2, 12};
+    trace[2] = {0.0, 8, 2, 2, 13};
+    trace[3] = {0.0, 8, 2, 5, 14};
+
+    BatcherOptions opt;
+    opt.threads = 1;
+    opt.max_active = 1;
+    opt.head_dim = 16;
+    opt.prefill_chunk = 8;
+    const ServingReport rep = ContinuousBatcher(opt).run(trace);
+
+    EXPECT_EQ(rep.sessions[3].admit_seq, 0); // priority 5
+    EXPECT_EQ(rep.sessions[1].admit_seq, 1); // priority 2, earlier
+    EXPECT_EQ(rep.sessions[2].admit_seq, 2); // priority 2, later
+    EXPECT_EQ(rep.sessions[0].admit_seq, 3); // priority 0
+    for (std::size_t i = 0; i < trace.size(); i++)
+        EXPECT_EQ(rep.sessions[i].priority, trace[i].priority);
+    EXPECT_LE(rep.sessions[3].admit_ms, rep.sessions[1].admit_ms);
+    EXPECT_LE(rep.sessions[1].admit_ms, rep.sessions[2].admit_ms);
+    EXPECT_LE(rep.sessions[2].admit_ms, rep.sessions[0].admit_ms);
+}
+
+TEST(ContinuousBatcher, GqaSessionsDeterministicAcrossThreadCounts)
+{
+    // Model-granularity sessions (4 query heads on 2 shared KV
+    // streams) with the in-session KV-head fan-out nested on the
+    // pool: decode AND prefill token streams must be bit-identical
+    // for every thread count.
+    TraceSpec ts;
+    ts.num_requests = 4;
+    ts.rate_per_s = 2000.0;
+    ts.prompt_min = 8;
+    ts.prompt_max = 16;
+    ts.decode_min = 2;
+    ts.decode_max = 4;
+    ts.seed = 31;
+    const std::vector<ServingRequest> trace = poissonArrivalTrace(ts);
+
+    auto runWith = [&](int threads) {
+        BatcherOptions opt;
+        opt.threads = threads;
+        opt.max_active = 2;
+        opt.heads = 4;
+        opt.kv_heads = 2;
+        opt.head_dim = 32;
+        opt.prefill_chunk = 4;
+        return ContinuousBatcher(opt).run(trace);
+    };
+    const ServingReport a = runWith(1);
+    const ServingReport b = runWith(4);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.prefill_checksum, b.prefill_checksum);
+    EXPECT_NE(a.checksum, 0u);
+    EXPECT_NE(a.prefill_checksum, 0u);
+    for (std::size_t i = 0; i < trace.size(); i++) {
+        EXPECT_EQ(a.sessions[i].checksum, b.sessions[i].checksum);
+        EXPECT_EQ(a.sessions[i].prefill_checksum,
+                  b.sessions[i].prefill_checksum);
+    }
+}
+
+TEST(PoissonTrace, PriorityClassesAreDeterministicAndBounded)
+{
+    TraceSpec ts;
+    ts.num_requests = 40;
+    ts.priority_levels = 4;
+    ts.seed = 17;
+    const auto a = poissonArrivalTrace(ts);
+    const auto b = poissonArrivalTrace(ts);
+    bool any_nonzero = false;
+    for (std::size_t i = 0; i < a.size(); i++) {
+        EXPECT_GE(a[i].priority, 0);
+        EXPECT_LT(a[i].priority, 4);
+        EXPECT_EQ(a[i].priority, b[i].priority);
+        any_nonzero |= a[i].priority != 0;
+    }
+    EXPECT_TRUE(any_nonzero);
+
+    // Single-class traces stay all-zero (and draw nothing extra).
+    ts.priority_levels = 1;
+    for (const ServingRequest &r : poissonArrivalTrace(ts))
+        EXPECT_EQ(r.priority, 0);
 }
 
 // ---------------------------------------------------------------------
