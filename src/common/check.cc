@@ -1,0 +1,22 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pade {
+namespace detail {
+
+void
+checkFailed(const char *file, int line, const char *expr,
+            const std::string &msg)
+{
+    // Single fprintf so concurrent failures don't interleave words;
+    // stderr is unbuffered enough that the message survives abort().
+    std::fprintf(stderr, "PADE_CHECK failed: %s%s at %s:%d\n", expr,
+                 msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace pade

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Runtime contract checks that stay armed in Release builds.
+ *
+ * The library's load-bearing invariants — KV-cache page liveness,
+ * bit-plane storage alignment, batcher admission configuration — were
+ * plain assert()s, which compile away under the default Release
+ * (-DNDEBUG) build: exactly the configuration a serving deployment
+ * runs. A violated invariant then corrupts state silently instead of
+ * failing at the boundary. This header provides the graded
+ * replacement:
+ *
+ *  - PADE_CHECK(cond): always on, every build type. Prints the failed
+ *    expression with file:line to stderr and aborts. Use at subsystem
+ *    boundaries and for invariants whose violation would corrupt
+ *    state or read freed memory — the cost is one predictable branch.
+ *  - PADE_CHECK_EQ/NE/LT/LE/GT/GE(a, b): PADE_CHECK for comparisons;
+ *    prints both operand values on failure, so a dead report tells
+ *    you *which* page/shape/count was wrong.
+ *  - PADE_DCHECK / PADE_DCHECK_* : compiled out under NDEBUG, armed in
+ *    Debug builds and in test translation units (which build with
+ *    -UNDEBUG). Use on hot paths (per-token, per-plane accessors)
+ *    where a Release branch per element is not free.
+ *
+ * Failure handling is a deliberate abort(), not an exception: a
+ * violated invariant means the process state can no longer be
+ * trusted, and abort() produces a core/sanitizer report at the point
+ * of violation instead of an unwound stack far from it.
+ */
+
+#ifndef PADE_COMMON_CHECK_H
+#define PADE_COMMON_CHECK_H
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+
+namespace pade {
+namespace detail {
+
+/** Prints "PADE_CHECK failed: <expr><msg> at <file>:<line>", aborts. */
+[[noreturn]] void checkFailed(const char *file, int line,
+                              const char *expr,
+                              const std::string &msg = std::string());
+
+/**
+ * Stream a checked operand; char-like integers print numerically
+ * (an int8_t page index must show as -3, not as a control byte).
+ */
+template <typename T>
+void
+printOperand(std::ostream &os, const T &v)
+{
+    if constexpr (std::is_same_v<T, signed char> ||
+                  std::is_same_v<T, unsigned char> ||
+                  std::is_same_v<T, char>)
+        os << static_cast<int>(v);
+    else
+        os << v;
+}
+
+template <typename A, typename B>
+[[noreturn]] void
+checkOpFailed(const char *file, int line, const char *expr, const A &a,
+              const B &b)
+{
+    std::ostringstream os;
+    os << " (";
+    printOperand(os, a);
+    os << " vs ";
+    printOperand(os, b);
+    os << ")";
+    checkFailed(file, line, expr, os.str());
+}
+
+} // namespace detail
+} // namespace pade
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PADE_CHECK_LIKELY(x) __builtin_expect(!!(x), 1)
+#else
+#define PADE_CHECK_LIKELY(x) (!!(x))
+#endif
+
+/** Always-on invariant check: abort with expr + file:line on failure. */
+#define PADE_CHECK(cond)                                              \
+    (PADE_CHECK_LIKELY(cond)                                          \
+         ? static_cast<void>(0)                                       \
+         : ::pade::detail::checkFailed(__FILE__, __LINE__, #cond))
+
+/**
+ * Comparison check printing both operands on failure. Operands are
+ * evaluated exactly once.
+ */
+#define PADE_CHECK_OP(a, op, b)                                       \
+    do {                                                              \
+        auto &&pade_chk_a_ = (a);                                     \
+        auto &&pade_chk_b_ = (b);                                     \
+        if (!PADE_CHECK_LIKELY(pade_chk_a_ op pade_chk_b_))           \
+            ::pade::detail::checkOpFailed(__FILE__, __LINE__,         \
+                                          #a " " #op " " #b,          \
+                                          pade_chk_a_, pade_chk_b_);  \
+    } while (false)
+
+#define PADE_CHECK_EQ(a, b) PADE_CHECK_OP(a, ==, b)
+#define PADE_CHECK_NE(a, b) PADE_CHECK_OP(a, !=, b)
+#define PADE_CHECK_LT(a, b) PADE_CHECK_OP(a, <, b)
+#define PADE_CHECK_LE(a, b) PADE_CHECK_OP(a, <=, b)
+#define PADE_CHECK_GT(a, b) PADE_CHECK_OP(a, >, b)
+#define PADE_CHECK_GE(a, b) PADE_CHECK_OP(a, >=, b)
+
+/**
+ * Debug-only checks: armed when NDEBUG is not defined (Debug builds
+ * and test translation units, which compile with -UNDEBUG), compiled
+ * out of the Release hot path like assert().
+ */
+#ifdef NDEBUG
+#define PADE_DCHECK(cond) static_cast<void>(0)
+#define PADE_DCHECK_EQ(a, b) static_cast<void>(0)
+#define PADE_DCHECK_NE(a, b) static_cast<void>(0)
+#define PADE_DCHECK_LT(a, b) static_cast<void>(0)
+#define PADE_DCHECK_LE(a, b) static_cast<void>(0)
+#define PADE_DCHECK_GT(a, b) static_cast<void>(0)
+#define PADE_DCHECK_GE(a, b) static_cast<void>(0)
+#else
+#define PADE_DCHECK(cond) PADE_CHECK(cond)
+#define PADE_DCHECK_EQ(a, b) PADE_CHECK_EQ(a, b)
+#define PADE_DCHECK_NE(a, b) PADE_CHECK_NE(a, b)
+#define PADE_DCHECK_LT(a, b) PADE_CHECK_LT(a, b)
+#define PADE_DCHECK_LE(a, b) PADE_CHECK_LE(a, b)
+#define PADE_DCHECK_GT(a, b) PADE_CHECK_GT(a, b)
+#define PADE_DCHECK_GE(a, b) PADE_CHECK_GE(a, b)
+#endif
+
+#endif // PADE_COMMON_CHECK_H

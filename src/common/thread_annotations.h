@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Clang thread-safety-analysis attribute macros.
+ *
+ * Clang's `-Wthread-safety` turns locking discipline into a
+ * compile-time property: members tagged PADE_GUARDED_BY(mu) may only
+ * be touched while `mu` is held, functions tagged PADE_REQUIRES(mu)
+ * may only be called with it held, and the analysis proves both at
+ * every call site. The serving stack fans whole GQA layers across the
+ * work-stealing ThreadPool, and the planned pipelined ModelEngine
+ * will overlap decode and append rounds — this layer is the static
+ * race detector that polices that growth before TSan ever runs.
+ *
+ * The macros expand to GNU attributes under clang and to nothing
+ * everywhere else, so gcc builds are unaffected. The analysis only
+ * understands annotated capability types: libstdc++'s std::mutex
+ * carries no attributes, which is why src/runtime/mutex.h wraps it in
+ * an annotated pade::Mutex — always lock through those wrappers in
+ * annotated code.
+ *
+ * Naming follows the modern capability-based spelling of the clang
+ * docs (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html);
+ * legacy spellings (lockable, guarded_var, ...) are intentionally not
+ * exposed.
+ */
+
+#ifndef PADE_COMMON_THREAD_ANNOTATIONS_H
+#define PADE_COMMON_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__)
+#define PADE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PADE_THREAD_ANNOTATION(x) // no-op off clang
+#endif
+
+/** Marks a type as a capability (a mutex-like object). */
+#define PADE_CAPABILITY(x) PADE_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires in its ctor / releases in dtor. */
+#define PADE_SCOPED_CAPABILITY PADE_THREAD_ANNOTATION(scoped_lockable)
+
+/** Data member readable/writable only while @p x is held. */
+#define PADE_GUARDED_BY(x) PADE_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointer member whose *pointee* is protected by @p x. */
+#define PADE_PT_GUARDED_BY(x) PADE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Caller must hold the capability (exclusively). */
+#define PADE_REQUIRES(...) \
+    PADE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Caller must hold the capability at least shared. */
+#define PADE_REQUIRES_SHARED(...) \
+    PADE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability and holds it on return. */
+#define PADE_ACQUIRE(...) \
+    PADE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Shared-mode PADE_ACQUIRE. */
+#define PADE_ACQUIRE_SHARED(...) \
+    PADE_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/** Function releases the capability (which must be held on entry). */
+#define PADE_RELEASE(...) \
+    PADE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Shared-mode PADE_RELEASE. */
+#define PADE_RELEASE_SHARED(...) \
+    PADE_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/** Function acquires iff it returns @p ret (try_lock shape). */
+#define PADE_TRY_ACQUIRE(...) \
+    PADE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the capability (deadlock guard). */
+#define PADE_EXCLUDES(...) \
+    PADE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Asserts (at runtime) that the capability is held; analysis trusts it. */
+#define PADE_ASSERT_CAPABILITY(x) \
+    PADE_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the given capability. */
+#define PADE_RETURN_CAPABILITY(x) PADE_THREAD_ANNOTATION(lock_returned(x))
+
+/** Declares a lock-acquisition ordering between two capabilities. */
+#define PADE_ACQUIRED_BEFORE(...) \
+    PADE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PADE_ACQUIRED_AFTER(...) \
+    PADE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/**
+ * Escape hatch: disables the analysis for one function. Reserve for
+ * code whose safety argument the analysis cannot express (document
+ * why at every use site); see docs/STATIC_ANALYSIS.md for the
+ * suppression policy.
+ */
+#define PADE_NO_THREAD_SAFETY_ANALYSIS \
+    PADE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // PADE_COMMON_THREAD_ANNOTATIONS_H

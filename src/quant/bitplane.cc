@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
-#include <cassert>
 #include <cstdint>
 
+#include "common/check.h"
 #include "common/math_util.h"
 #include "core/simd/qk_avx2.h"
 #include "core/simd/qk_dispatch.h"
@@ -13,12 +13,32 @@
 namespace pade {
 namespace {
 
-/** Debug check of the storage contract the SIMD backend relies on. */
+/**
+ * Hot-path (per-accessor) check of the storage contract the SIMD
+ * backend relies on; debug builds only. The Release-armed version of
+ * this invariant runs once per mutation (checkStorageAligned), where
+ * the base pointer is (re)established.
+ */
 inline void
 assertPlaneAligned(const uint64_t *p)
 {
-    assert(reinterpret_cast<std::uintptr_t>(p) % 32 == 0);
+    PADE_DCHECK(reinterpret_cast<std::uintptr_t>(p) % 32 == 0);
     (void)p;
+}
+
+/**
+ * Release-armed storage-contract check: the backing store the SIMD
+ * kernels will load 32 bytes at a time must sit on a 32-byte
+ * boundary. Misalignment here means AlignedAllocator (or a future
+ * storage refactor) broke the contract — fail at the mutation that
+ * established the pointer, in every build type.
+ */
+inline void
+checkStorageAligned(const uint64_t *base)
+{
+    if (base != nullptr)
+        PADE_CHECK_EQ(reinterpret_cast<std::uintptr_t>(base) % 32,
+                      0u);
 }
 
 } // namespace
@@ -43,17 +63,20 @@ BitPlaneSet::BitPlaneSet(int cols, int bits, int capacity_rows)
     : cols_(cols), bits_(bits), words_((cols + 63) / 64),
       stride_(planeStrideWords(words_)), revision_(nextRevision())
 {
-    assert(bits_ >= 2 && bits_ <= 8);
-    assert(cols_ >= 0 && capacity_rows >= 0);
+    PADE_CHECK_GE(bits_, 2);
+    PADE_CHECK_LE(bits_, 8);
+    PADE_CHECK_GE(cols_, 0);
+    PADE_CHECK_GE(capacity_rows, 0);
     storage_.reserve(static_cast<std::size_t>(capacity_rows) * bits_ *
                      stride_);
     popcounts_.reserve(static_cast<std::size_t>(capacity_rows) * bits_);
+    checkStorageAligned(storage_.data());
 }
 
 void
 BitPlaneSet::appendToken(std::span<const int8_t> row)
 {
-    assert(static_cast<int>(row.size()) == cols_);
+    PADE_CHECK_EQ(static_cast<int>(row.size()), cols_);
     const int lo = -(1 << (bits_ - 1));
     const int hi = (1 << (bits_ - 1)) - 1;
     (void)lo;
@@ -69,10 +92,11 @@ BitPlaneSet::appendToken(std::span<const int8_t> row)
                         static_cast<std::size_t>(bits_) * stride_,
                     0);
     popcounts_.resize(popcounts_.size() + bits_, 0);
+    checkStorageAligned(storage_.data());
 
     for (int col = 0; col < cols_; col++) {
         const int v = row[col];
-        assert(v >= lo && v <= hi);
+        PADE_DCHECK(v >= lo && v <= hi);
         // Two's complement over the low `bits_` bits represents v
         // exactly when it is in range.
         const uint8_t u = static_cast<uint8_t>(v) &
@@ -91,7 +115,7 @@ BitPlaneSet::appendToken(std::span<const int8_t> row)
 int
 BitPlaneSet::planeWeight(int r) const
 {
-    assert(r >= 0 && r < bits_);
+    PADE_DCHECK(r >= 0 && r < bits_);
     if (r == 0)
         return -(1 << (bits_ - 1));
     return 1 << (bits_ - 1 - r);
@@ -100,14 +124,14 @@ BitPlaneSet::planeWeight(int r) const
 int
 BitPlaneSet::remainingMagnitude(int r) const
 {
-    assert(r >= 0 && r < bits_);
+    PADE_DCHECK(r >= 0 && r < bits_);
     return (1 << (bits_ - 1 - r)) - 1;
 }
 
 bool
 BitPlaneSet::bit(int row, int r, int col) const
 {
-    assert(col >= 0 && col < cols_);
+    PADE_DCHECK(col >= 0 && col < cols_);
     return (storage_[planeIndex(row, r) + col / 64] >> (col % 64)) & 1ULL;
 }
 
@@ -122,7 +146,7 @@ BitPlaneSet::plane(int row, int r) const
 std::span<const uint64_t>
 BitPlaneSet::rowPlanes(int row) const
 {
-    assert(row >= 0 && row < rows_);
+    PADE_DCHECK(row >= 0 && row < rows_);
     const uint64_t *p = storage_.data() + planeIndex(row, 0);
     assertPlaneAligned(p);
     return {p, static_cast<size_t>(bits_) * stride_};
@@ -131,7 +155,7 @@ BitPlaneSet::rowPlanes(int row) const
 int
 BitPlaneSet::popcount(int row, int r) const
 {
-    assert(row >= 0 && row < rows_ && r >= 0 && r < bits_);
+    PADE_DCHECK(row >= 0 && row < rows_ && r >= 0 && r < bits_);
     return popcounts_[static_cast<size_t>(row) * bits_ + r];
 }
 
@@ -170,10 +194,12 @@ QueryPlanes::assign(std::span<const int8_t> q, int bits)
         while (lo < -(1 << (bits - 1)) || hi > (1 << (bits - 1)) - 1)
             bits++;
     }
-    assert(bits >= 1 && bits <= 8);
+    PADE_CHECK_GE(bits, 1);
+    PADE_CHECK_LE(bits, 8);
     bits_ = bits;
 
     storage_.assign(static_cast<std::size_t>(bits_) * stride_, 0);
+    checkStorageAligned(storage_.data());
     for (int col = 0; col < cols_; col++) {
         const uint8_t u = static_cast<uint8_t>(q[col]) &
             static_cast<uint8_t>((1u << bits_) - 1);
@@ -213,7 +239,7 @@ QueryPlanes::buildValues() const
 int
 QueryPlanes::planeWeight(int t) const
 {
-    assert(t >= 0 && t < bits_);
+    PADE_DCHECK(t >= 0 && t < bits_);
     if (t == 0)
         return -(1 << (bits_ - 1));
     return 1 << (bits_ - 1 - t);
@@ -222,7 +248,7 @@ QueryPlanes::planeWeight(int t) const
 bool
 QueryPlanes::bit(int t, int col) const
 {
-    assert(col >= 0 && col < cols_);
+    PADE_DCHECK(col >= 0 && col < cols_);
     return (storage_[static_cast<std::size_t>(t) * stride_ +
                      col / 64] >> (col % 64)) & 1ULL;
 }
@@ -230,7 +256,7 @@ QueryPlanes::bit(int t, int col) const
 std::span<const uint64_t>
 QueryPlanes::plane(int t) const
 {
-    assert(t >= 0 && t < bits_);
+    PADE_DCHECK(t >= 0 && t < bits_);
     const uint64_t *p =
         storage_.data() + static_cast<std::size_t>(t) * stride_;
     assertPlaneAligned(p);
@@ -249,7 +275,7 @@ QueryPlanes::simdView() const
 int64_t
 QueryPlanes::maskedSumSimd(std::span<const uint64_t> mask) const
 {
-    assert(static_cast<int>(mask.size()) == words_);
+    PADE_DCHECK(static_cast<int>(mask.size()) == words_);
     if (!qkSimdAvailable())
         return maskedSum(mask);
     return simd::maskedSumAvx2(simdView(), mask.data(), words_);
@@ -265,7 +291,7 @@ partialDot(std::span<const int8_t> q, const BitPlaneSet &keys, int row,
 int64_t
 partialDot(const QueryPlanes &q, const BitPlaneSet &keys, int row, int r)
 {
-    assert(q.numCols() == keys.numCols());
+    PADE_DCHECK(q.numCols() == keys.numCols());
     int64_t total = 0;
     for (int p = 0; p <= r; p++)
         total += static_cast<int64_t>(keys.planeWeight(p)) *
@@ -277,7 +303,7 @@ int64_t
 partialDotScalar(std::span<const int8_t> q, const BitPlaneSet &keys,
                  int row, int r)
 {
-    assert(static_cast<int>(q.size()) == keys.numCols());
+    PADE_DCHECK(static_cast<int>(q.size()) == keys.numCols());
     int64_t total = 0;
     for (int p = 0; p <= r; p++) {
         int64_t plane_sum = 0;
@@ -299,8 +325,8 @@ int64_t
 partialDotSimd(const QueryPlanes &q, const BitPlaneSet &keys, int row,
                int r)
 {
-    assert(q.numCols() == keys.numCols());
-    assert(r >= 0 && r < keys.numPlanes());
+    PADE_DCHECK(q.numCols() == keys.numCols());
+    PADE_DCHECK(r >= 0 && r < keys.numPlanes());
     if (!qkSimdAvailable())
         return partialDot(q, keys, row, r);
     const simd::QPlaneView view = q.simdView();

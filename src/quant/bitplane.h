@@ -30,13 +30,13 @@
 #define PADE_QUANT_BITPLANE_H
 
 #include <bit>
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 #include "common/aligned.h"
+#include "common/check.h"
 #include "tensor/matrix.h"
 
 namespace pade {
@@ -249,7 +249,7 @@ class QueryPlanes
     int64_t
     maskedSum(std::span<const uint64_t> mask) const
     {
-        assert(static_cast<int>(mask.size()) == words_);
+        PADE_DCHECK_EQ(static_cast<int>(mask.size()), words_);
         // Dispatch on the word count so the compiler keeps the mask
         // words in registers across all query planes (head dims up to
         // 256 take the unrolled paths).

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Annotated synchronization primitives for clang thread-safety
+ * analysis.
+ *
+ * The analysis (-Wthread-safety, see common/thread_annotations.h)
+ * only tracks lock state through functions that carry acquire/release
+ * attributes. libstdc++'s std::mutex / std::lock_guard /
+ * std::condition_variable have none, so locking through them is
+ * invisible to the analysis and every access to a PADE_GUARDED_BY
+ * member would be (correctly) flagged. These thin wrappers delegate
+ * straight to the std primitives — zero behavioral difference, no
+ * extra state — and exist purely to make the locking protocol
+ * checkable at compile time:
+ *
+ *  - Mutex: std::mutex with ACQUIRE/RELEASE-annotated lock()/unlock();
+ *  - MutexLock: scoped lock (std::unique_lock underneath) whose
+ *    constructor ACQUIREs and destructor RELEASEs;
+ *  - CondVar: condition variable waiting on a MutexLock. Waits are
+ *    annotated as lock-neutral (held on entry, held on return), which
+ *    matches how the analysis reasons about guarded state across a
+ *    wait: re-check the predicate after every wakeup.
+ *
+ * All concurrency code under src/ locks through these types; adding a
+ * bare std::mutex to an annotated class defeats the analysis.
+ */
+
+#ifndef PADE_RUNTIME_MUTEX_H
+#define PADE_RUNTIME_MUTEX_H
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace pade {
+
+/** std::mutex with thread-safety-analysis attributes. */
+class PADE_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() PADE_ACQUIRE() { mu_.lock(); }
+    void unlock() PADE_RELEASE() { mu_.unlock(); }
+    bool tryLock() PADE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+    /** Underlying handle for CondVar / MutexLock; never lock it raw. */
+    std::mutex &native() { return mu_; }
+
+  private:
+    std::mutex mu_;
+};
+
+/**
+ * Scoped lock over a Mutex: acquires on construction, releases on
+ * destruction (RAII, exception-safe). The annotated replacement for
+ * std::lock_guard / std::unique_lock in this codebase.
+ */
+class PADE_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) PADE_ACQUIRE(mu) : lock_(mu.native())
+    {
+    }
+    ~MutexLock() PADE_RELEASE() {}
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    /** Underlying handle handed to CondVar waits. */
+    std::unique_lock<std::mutex> &native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+/**
+ * Condition variable waiting on a MutexLock.
+ *
+ * Deliberately predicate-free: the analysis cannot see that a wait
+ * predicate runs under the lock, so callers write the standard
+ *     while (!condition) cv.wait(lock);
+ * loop instead, where `condition` reads guarded state in a scope the
+ * analysis can verify. (A predicate lambda would be analyzed as an
+ * unlocked function and flagged.)
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Atomically release, sleep, re-acquire. Spurious wakeups apply. */
+    void wait(MutexLock &lock) { cv_.wait(lock.native()); }
+
+    /** wait() with a timeout; re-check the predicate either way. */
+    template <typename Rep, typename Period>
+    void
+    waitFor(MutexLock &lock,
+            const std::chrono::duration<Rep, Period> &timeout)
+    {
+        cv_.wait_for(lock.native(), timeout);
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace pade
+
+#endif // PADE_RUNTIME_MUTEX_H

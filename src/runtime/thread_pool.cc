@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <utility>
 
+#include "common/check.h"
+
 namespace pade {
 
 int
@@ -25,10 +27,14 @@ ThreadPool::ThreadPool(int threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         stop_ = true;
     }
-    cv_task_.notify_all();
+    cv_task_.notifyAll();
+    // Workers drain every task still queued before exiting (see
+    // workerLoop), so destroying a pool with queued work completes
+    // that work rather than dropping it — the contract
+    // tests/test_runtime.cc pins down.
     for (std::thread &w : workers_)
         w.join();
 }
@@ -37,18 +43,18 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         queue_.push_back(std::move(task));
     }
-    cv_task_.notify_one();
+    cv_task_.notifyOne();
 }
 
 void
 ThreadPool::waitIdle()
 {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_idle_.wait(lock,
-                  [this] { return queue_.empty() && active_ == 0; });
+    MutexLock lock(mu_);
+    while (!isIdle())
+        cv_idle_.wait(lock);
 }
 
 bool
@@ -56,7 +62,7 @@ ThreadPool::tryRunOne()
 {
     std::function<void()> task;
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (queue_.empty())
             return false;
         task = std::move(queue_.front());
@@ -70,10 +76,11 @@ ThreadPool::tryRunOne()
         // submitter's own channel.
     }
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         active_--;
-        if (queue_.empty() && active_ == 0)
-            cv_idle_.notify_all();
+        PADE_DCHECK_GE(active_, 0);
+        if (isIdle())
+            cv_idle_.notifyAll();
     }
     return true;
 }
@@ -84,9 +91,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_task_.wait(lock,
-                          [this] { return stop_ || !queue_.empty(); });
+            MutexLock lock(mu_);
+            while (!hasWorkOrStopped())
+                cv_task_.wait(lock);
             if (queue_.empty())
                 return; // stop_ set and nothing left to drain
             task = std::move(queue_.front());
@@ -101,10 +108,11 @@ ThreadPool::workerLoop()
             // slots); a worker thread must survive regardless.
         }
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            MutexLock lock(mu_);
             active_--;
-            if (queue_.empty() && active_ == 0)
-                cv_idle_.notify_all();
+            PADE_DCHECK_GE(active_, 0);
+            if (isIdle())
+                cv_idle_.notifyAll();
         }
     }
 }
@@ -117,13 +125,16 @@ parallelFor(ThreadPool &pool, int n, const std::function<void(int)> &fn)
 
     struct State
     {
-        std::mutex mu;
-        std::condition_variable done;
-        int remaining;
-        std::exception_ptr error;
+        Mutex mu;
+        CondVar done;
+        int remaining PADE_GUARDED_BY(mu);
+        std::exception_ptr error PADE_GUARDED_BY(mu);
     };
     State st;
-    st.remaining = n;
+    {
+        MutexLock lock(st.mu);
+        st.remaining = n;
+    }
 
     for (int i = 0; i < n; i++) {
         pool.submit([&st, &fn, i] {
@@ -133,11 +144,11 @@ parallelFor(ThreadPool &pool, int n, const std::function<void(int)> &fn)
             } catch (...) {
                 err = std::current_exception();
             }
-            std::lock_guard<std::mutex> lock(st.mu);
+            MutexLock lock(st.mu);
             if (err && !st.error)
                 st.error = err;
             if (--st.remaining == 0)
-                st.done.notify_all();
+                st.done.notifyAll();
         });
     }
 
@@ -149,18 +160,27 @@ parallelFor(ThreadPool &pool, int n, const std::function<void(int)> &fn)
     // found it empty.
     for (;;) {
         {
-            std::unique_lock<std::mutex> lock(st.mu);
+            MutexLock lock(st.mu);
             if (st.remaining == 0)
                 break;
         }
         if (pool.tryRunOne())
             continue;
-        std::unique_lock<std::mutex> lock(st.mu);
-        st.done.wait_for(lock, std::chrono::milliseconds(2),
-                         [&st] { return st.remaining == 0; });
+        MutexLock lock(st.mu);
+        if (st.remaining != 0)
+            st.done.waitFor(lock, std::chrono::milliseconds(2));
     }
-    if (st.error)
-        std::rethrow_exception(st.error);
+
+    std::exception_ptr error;
+    {
+        // Uncontended by now (remaining hit 0, every task released
+        // st.mu), but the analysis — and TSan — want the read of
+        // error under the same lock that guards the writes.
+        MutexLock lock(st.mu);
+        error = st.error;
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 } // namespace pade

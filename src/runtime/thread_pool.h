@@ -6,19 +6,25 @@
  * ordering guarantees live with the caller, which keeps the pool
  * trivially exception-safe: a task that throws is caught at the
  * worker boundary, so one failing request can never wedge the pool.
+ *
+ * Locking goes through the annotated pade::Mutex/CondVar wrappers
+ * (runtime/mutex.h) and every shared member carries PADE_GUARDED_BY,
+ * so clang's -Wthread-safety proves the locking discipline at compile
+ * time — the clang CI legs build with -Werror=thread-safety.
  */
 
 #ifndef PADE_RUNTIME_THREAD_POOL_H
 #define PADE_RUNTIME_THREAD_POOL_H
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
+#include "runtime/mutex.h"
 
 namespace pade {
 
@@ -40,10 +46,10 @@ class ThreadPool
      * the worker boundary; use parallelFor() when propagation is
      * needed.
      */
-    void submit(std::function<void()> task);
+    void submit(std::function<void()> task) PADE_EXCLUDES(mu_);
 
     /** Block until the queue is empty and every worker is idle. */
-    void waitIdle();
+    void waitIdle() PADE_EXCLUDES(mu_);
 
     /**
      * Pop and run one queued task on the calling thread; false when
@@ -51,21 +57,35 @@ class ThreadPool
      * of tasks (parallelFor) keep the pool productive, which makes
      * nested parallelFor calls on one pool deadlock-free.
      */
-    bool tryRunOne();
+    bool tryRunOne() PADE_EXCLUDES(mu_);
 
     /** Detected core count (at least 1). */
     static int hardwareThreads();
 
   private:
-    void workerLoop();
+    void workerLoop() PADE_EXCLUDES(mu_);
 
-    std::mutex mu_;
-    std::condition_variable cv_task_;
-    std::condition_variable cv_idle_;
-    std::deque<std::function<void()>> queue_;
+    /** Wakeup condition of workerLoop's wait (task or shutdown). */
+    bool
+    hasWorkOrStopped() const PADE_REQUIRES(mu_)
+    {
+        return stop_ || !queue_.empty();
+    }
+    /** waitIdle()'s condition: nothing queued, nothing running. */
+    bool
+    isIdle() const PADE_REQUIRES(mu_)
+    {
+        return queue_.empty() && active_ == 0;
+    }
+
+    Mutex mu_;
+    CondVar cv_task_;
+    CondVar cv_idle_;
+    std::deque<std::function<void()>> queue_ PADE_GUARDED_BY(mu_);
+    /** Worker handles; written only by the ctor, joined by the dtor. */
     std::vector<std::thread> workers_;
-    int active_ = 0;
-    bool stop_ = false;
+    int active_ PADE_GUARDED_BY(mu_) = 0;
+    bool stop_ PADE_GUARDED_BY(mu_) = false;
 };
 
 /**

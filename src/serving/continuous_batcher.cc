@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <bit>
-#include <cassert>
 #include <chrono>
 #include <memory>
 #include <optional>
 
+#include "common/check.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
+#include "runtime/mutex.h"
 #include "runtime/thread_pool.h"
 #include "serving/layer_engine.h"
 
@@ -78,15 +80,58 @@ struct Session
 };
 
 /**
+ * Accounting shared by every session of one scheduling round. The
+ * per-session step results are disjoint, but the round-wide resident
+ * KV byte total is genuinely concurrent state: each worker folds its
+ * session's bytesUsed() in as it finishes stepping, under the mutex.
+ * size_t addition commutes, so the total is deterministic for any
+ * thread count. Guarded members + MutexLock keep the access pattern
+ * provable by -Wthread-safety and visible to TSan.
+ */
+struct RoundAccounting
+{
+    Mutex mu;
+    /** Resident KV bytes summed over the round's sessions. */
+    std::size_t cache_bytes PADE_GUARDED_BY(mu) = 0;
+
+    void
+    add(std::size_t bytes) PADE_EXCLUDES(mu)
+    {
+        MutexLock lock(mu);
+        cache_bytes += bytes;
+    }
+    std::size_t
+    total() PADE_EXCLUDES(mu)
+    {
+        MutexLock lock(mu);
+        return cache_bytes;
+    }
+};
+
+/**
  * Advance one session by one scheduling unit. Runs on a pool worker;
- * sessions touch disjoint state, so the only sharing is the pool
+ * sessions touch disjoint state, so the sharing surface is the pool
  * itself (the in-session KV-head fan-out nests on it — parallelFor's
- * caller work-stealing keeps that deadlock-free).
+ * caller work-stealing keeps that deadlock-free) and the mutex-guarded
+ * round accounting.
  */
 void
-stepSession(Session &s, const BatcherOptions &opt, ThreadPool *pool)
+stepSession(Session &s, const BatcherOptions &opt, ThreadPool *pool,
+            RoundAccounting &round)
 {
     const ServingRequest &req = *s.req;
+    // Fold this session's resident bytes into the round total on the
+    // way out, whatever unit ran (including early returns below).
+    struct BytesOnExit
+    {
+        Session &s;
+        RoundAccounting &round;
+        ~BytesOnExit()
+        {
+            if (s.layer)
+                round.add(s.layer->bytesUsed());
+        }
+    } bytes_on_exit{s, round};
 
     if (!s.layer) {
         // Unit 1: materialize the session workload — one quantized
@@ -116,7 +161,9 @@ stepSession(Session &s, const BatcherOptions &opt, ThreadPool *pool)
         lc.pade = opt.pade;
         lc.retention = opt.retention;
         s.logit_scales.clear();
+        s.logit_scales.reserve(s.work->groups.size());
         std::vector<float> v_scales;
+        v_scales.reserve(s.work->groups.size());
         for (const QuantizedHead &g : s.work->groups) {
             v_scales.push_back(g.v.params.scale);
             s.logit_scales.push_back(g.logit_scale);
@@ -169,9 +216,14 @@ stepSession(Session &s, const BatcherOptions &opt, ThreadPool *pool)
 
 ContinuousBatcher::ContinuousBatcher(BatcherOptions opt) : opt_(opt)
 {
-    assert(opt_.max_active > 0 && opt_.prefill_chunk > 0);
-    assert(opt_.heads >= 1 && opt_.kv_heads >= 1 &&
-           opt_.heads % opt_.kv_heads == 0);
+    // Admission invariants: a misconfigured batcher must die at
+    // construction in every build type, not serve garbage — these
+    // are PADE_CHECKs, not asserts, so Release servers fail loudly.
+    PADE_CHECK_GT(opt_.max_active, 0);
+    PADE_CHECK_GT(opt_.prefill_chunk, 0);
+    PADE_CHECK_GE(opt_.heads, 1);
+    PADE_CHECK_GE(opt_.kv_heads, 1);
+    PADE_CHECK_EQ(opt_.heads % opt_.kv_heads, 0);
 }
 
 ServingReport
@@ -181,8 +233,10 @@ ContinuousBatcher::run(std::span<const ServingRequest> trace) const
 
     ServingReport report;
     report.sessions.resize(trace.size());
+    // The admission loop's virtual-clock jumps assume a time-sorted
+    // trace; an unsorted one would starve arrivals forever.
     for (std::size_t i = 0; i + 1 < trace.size(); i++)
-        assert(trace[i].arrival_ms <= trace[i + 1].arrival_ms);
+        PADE_CHECK_LE(trace[i].arrival_ms, trace[i + 1].arrival_ms);
 
     ThreadPool pool(opt_.threads);
     std::vector<std::unique_ptr<Session>> active;
@@ -226,8 +280,10 @@ ContinuousBatcher::run(std::span<const ServingRequest> trace) const
 
         if (active.empty()) {
             // Idle: free slots exist, so pending must be drained —
-            // jump the virtual clock to the next arrival.
-            assert(pending.empty() && next < trace.size());
+            // jump the virtual clock to the next arrival. A violation
+            // here means the admission loop wedged; fail loudly
+            // rather than spin forever.
+            PADE_CHECK(pending.empty() && next < trace.size());
             now_ms = std::max(now_ms, trace[next].arrival_ms);
             continue;
         }
@@ -237,24 +293,25 @@ ContinuousBatcher::run(std::span<const ServingRequest> trace) const
         // virtual clock, so latency reflects actual machine speed and
         // parallelism.
         const auto t0 = std::chrono::steady_clock::now();
+        RoundAccounting round;
         parallelFor(pool, static_cast<int>(active.size()), [&](int i) {
             stepSession(*active[static_cast<std::size_t>(i)], opt_,
-                        &pool);
+                        &pool, round);
         });
         now_ms += std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - t0).count();
         report.rounds++;
 
-        // Post-round bookkeeping on the scheduler thread.
-        std::size_t cache_bytes = 0;
+        // Post-round bookkeeping on the scheduler thread. The round's
+        // KV byte total was folded in concurrently as sessions
+        // finished stepping (RoundAccounting); first-token times need
+        // the round-end virtual clock, so they stay here.
         for (auto &s : active) {
             if (s->decoded >= 1 && s->first_token_ms < 0.0)
                 s->first_token_ms = now_ms;
-            if (s->layer)
-                cache_bytes += s->layer->bytesUsed();
         }
         report.peak_cache_bytes =
-            std::max(report.peak_cache_bytes, cache_bytes);
+            std::max(report.peak_cache_bytes, round.total());
 
         // Evict finished sessions: record the timeline, free the KV
         // pages, release the slot.

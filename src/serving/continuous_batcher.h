@@ -27,6 +27,15 @@
  * thread count. `SessionStats::admit_seq` records the resulting
  * global admission sequence.
  *
+ * Concurrency: sessions advance on pool workers and touch disjoint
+ * state; the one genuinely shared mutable object of a round is its
+ * RoundAccounting (resident-KV-byte total), guarded by an annotated
+ * pade::Mutex (PADE_GUARDED_BY — see common/thread_annotations.h) so
+ * clang's -Wthread-safety proves the locking and the TSan CI leg
+ * watches it at runtime. Admission invariants (slot count, prefill
+ * chunk, GQA divisibility, trace monotonicity) are PADE_CHECKs:
+ * violations abort in Release servers, not only in test builds.
+ *
  * Clock model: admission and latency run on a virtual clock that
  * advances by each round's measured host wall time, and jumps forward
  * to the next arrival when the engine is idle. Token *outputs* (and

@@ -1,7 +1,6 @@
 #include "serving/decode_engine.h"
 
-#include <cassert>
-
+#include "common/check.h"
 #include "core/bit_serial.h"
 
 namespace pade {
@@ -9,8 +8,8 @@ namespace pade {
 DecodeEngine::DecodeEngine(PadeConfig cfg, RetentionPolicy retention)
     : cfg_(cfg), retention_(retention)
 {
-    assert(retention_.sink_tokens >= 0 &&
-           retention_.recency_tokens >= 0);
+    PADE_CHECK_GE(retention_.sink_tokens, 0);
+    PADE_CHECK_GE(retention_.recency_tokens, 0);
 }
 
 DecodeStep
@@ -30,7 +29,7 @@ DecodeEngine::stepGroup(const KvCache &cache, const MatrixI8 &q,
                         int q_row0, int group, float logit_scale,
                         MatrixF &out, int out_row0)
 {
-    assert(group >= 1);
+    PADE_CHECK_GE(group, 1);
     qs_.resize(static_cast<std::size_t>(group));
     outs_.resize(static_cast<std::size_t>(group));
     for (int g = 0; g < group; g++) {
@@ -47,12 +46,13 @@ DecodeEngine::prefillGroup(const KvCache &cache, const MatrixI8 &q,
                            int prompt_len, float logit_scale,
                            MatrixF &out, int out_row0)
 {
-    assert(group >= 1);
-    assert(qpos >= 0 && qpos < prompt_len);
+    PADE_CHECK_GE(group, 1);
+    PADE_CHECK_GE(qpos, 0);
+    PADE_CHECK_LT(qpos, prompt_len);
     // The chunk containing qpos must already be appended; later
     // prompt tokens may or may not be — the causal skip masks both
     // the not-yet-cached tail and the in-cache tokens past qpos.
-    assert(cache.size() > qpos);
+    PADE_CHECK_GT(cache.size(), qpos);
     qs_.resize(static_cast<std::size_t>(group));
     outs_.resize(static_cast<std::size_t>(group));
     for (int g = 0; g < group; g++) {
@@ -71,13 +71,14 @@ DecodeEngine::runGroup(const KvCache &cache, int qpos, int order_len,
     const int bits = kc.bits;
     const int g = static_cast<int>(qs_.size());
     for (const auto &q : qs_)
-        assert(static_cast<int>(q.size()) == h);
+        PADE_CHECK_EQ(static_cast<int>(q.size()), h);
     for (const auto &o : outs_)
-        assert(static_cast<int>(o.size()) == h);
+        PADE_CHECK_EQ(static_cast<int>(o.size()), h);
     // The cached PlaneWork entries were computed with the cache's GSAT
     // geometry; the stats are only comparable to padeAttention when
     // the algorithm config agrees.
-    assert(cfg_.subgroup == kc.subgroup && cfg_.muxes == kc.muxes);
+    PADE_CHECK_EQ(cfg_.subgroup, kc.subgroup);
+    PADE_CHECK_EQ(cfg_.muxes, kc.muxes);
 
     // Same per-call dispatch decision as padeAttention: config request
     // + PADE_QK_KERNEL override + capability clamp.

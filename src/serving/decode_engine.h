@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "attention/online_softmax.h"
+#include "common/check.h"
 #include "core/bui.h"
 #include "core/guard_filter.h"
 #include "core/pade_attention.h"
@@ -235,7 +236,7 @@ class DecodeEngine
     const HeadState &
     headRef(int g) const
     {
-        assert(g >= 0 && g < group_);
+        PADE_DCHECK(g >= 0 && g < group_);
         return heads_[static_cast<std::size_t>(g)];
     }
 

@@ -11,16 +11,18 @@ KvCache::Page::Page(const KvCacheConfig &cfg)
 
 KvCache::KvCache(const KvCacheConfig &cfg) : cfg_(cfg)
 {
-    assert(cfg_.head_dim > 0 && cfg_.page_tokens > 0);
-    assert(cfg_.bits >= 2 && cfg_.bits <= 8);
+    PADE_CHECK_GT(cfg_.head_dim, 0);
+    PADE_CHECK_GT(cfg_.page_tokens, 0);
+    PADE_CHECK_GE(cfg_.bits, 2);
+    PADE_CHECK_LE(cfg_.bits, 8);
 }
 
 void
 KvCache::appendToken(std::span<const int8_t> k_row,
                      std::span<const int8_t> v_row)
 {
-    assert(static_cast<int>(k_row.size()) == cfg_.head_dim);
-    assert(static_cast<int>(v_row.size()) == cfg_.head_dim);
+    PADE_CHECK_EQ(static_cast<int>(k_row.size()), cfg_.head_dim);
+    PADE_CHECK_EQ(static_cast<int>(v_row.size()), cfg_.head_dim);
 
     if (pages_.empty() ||
         pages_.back().planes.numRows() == cfg_.page_tokens)
@@ -48,7 +50,7 @@ KvCache::appendToken(std::span<const int8_t> k_row,
 void
 KvCache::dropPagesBefore(int token)
 {
-    assert(token >= 0);
+    PADE_CHECK_GE(token, 0);
     // Whole pages only: the page containing `token` (and any partial
     // tail) always survives. token / page_tokens is the first page
     // with a row >= token, so everything strictly below it is dead.

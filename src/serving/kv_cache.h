@@ -24,20 +24,31 @@
  * stored planes: spans handed out by the accessors stay valid across
  * appendToken() calls. Pages live in a deque for stable addresses.
  *
- * Thread safety: none. One cache belongs to one decode session; the
- * continuous batcher gives every session its own cache.
+ * Thread safety: external. One cache belongs to one KV-head stream:
+ * appendToken()/dropPagesBefore() mutate and must be serialized by
+ * the owner, while the const accessors are safe to share across
+ * concurrent readers *between* mutations — the GQA decode path leans
+ * on exactly that (every query head of a group scans the one shared
+ * cache; LayerEngine serializes appends against decode rounds). There
+ * is deliberately no internal mutex: a lock per page access would sit
+ * on the per-token hot path.
+ *
+ * Invariant checking: page liveness and append-shape violations are
+ * PADE_CHECKs (armed in Release — a span handed out for a dropped
+ * page means reading freed memory); per-token index arithmetic inside
+ * the hot scan is PADE_DCHECK (test builds compile with -UNDEBUG).
  */
 
 #ifndef PADE_SERVING_KV_CACHE_H
 #define PADE_SERVING_KV_CACHE_H
 
-#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <span>
 #include <vector>
 
+#include "common/check.h"
 #include "core/bit_serial.h"
 #include "quant/bitplane.h"
 #include "tensor/matrix.h"
@@ -106,14 +117,14 @@ class KvCache
     int
     pageOf(int token) const
     {
-        assert(token >= 0 && token < tokens_);
+        PADE_DCHECK(token >= 0 && token < tokens_);
         return token / cfg_.page_tokens;
     }
     /** Row of token @p token inside its page. */
     int
     rowOf(int token) const
     {
-        assert(token >= 0 && token < tokens_);
+        PADE_DCHECK(token >= 0 && token < tokens_);
         return token % cfg_.page_tokens;
     }
 
@@ -143,7 +154,7 @@ class KvCache
     const PlaneWork &
     work(int token, int plane) const
     {
-        assert(plane >= 0 && plane < cfg_.bits);
+        PADE_DCHECK(plane >= 0 && plane < cfg_.bits);
         const Page &p = livePage(pageOf(token));
         return p.work[static_cast<std::size_t>(rowOf(token)) *
                           cfg_.bits +
@@ -179,11 +190,18 @@ class KvCache
         std::vector<PlaneWork> work; //!< used * bits entries
     };
 
-    /** Page @p page, which must not have been dropped. */
+    /**
+     * Page @p page, which must not have been dropped. Liveness is a
+     * PADE_CHECK, armed in every build type: serving a span from a
+     * dropped page is a read of freed memory, and retention-policy
+     * bugs must abort a Release server at the boundary rather than
+     * corrupt its outputs.
+     */
     const Page &
     livePage(int page) const
     {
-        assert(page >= first_live_page_ && page < numPages());
+        PADE_CHECK_GE(page, first_live_page_);
+        PADE_CHECK_LT(page, numPages());
         return pages_[static_cast<std::size_t>(page -
                                                first_live_page_)];
     }

@@ -1,7 +1,6 @@
 #include "serving/layer_engine.h"
 
-#include <cassert>
-
+#include "common/check.h"
 #include "runtime/thread_pool.h"
 
 namespace pade {
@@ -10,9 +9,10 @@ LayerEngine::LayerEngine(const LayerEngineConfig &cfg,
                          std::span<const float> v_scales)
     : cfg_(cfg)
 {
-    assert(cfg_.heads >= 1 && cfg_.kv_heads >= 1);
-    assert(cfg_.heads % cfg_.kv_heads == 0);
-    assert(static_cast<int>(v_scales.size()) == cfg_.kv_heads);
+    PADE_CHECK_GE(cfg_.heads, 1);
+    PADE_CHECK_GE(cfg_.kv_heads, 1);
+    PADE_CHECK_EQ(cfg_.heads % cfg_.kv_heads, 0);
+    PADE_CHECK_EQ(static_cast<int>(v_scales.size()), cfg_.kv_heads);
 
     caches_.reserve(static_cast<std::size_t>(cfg_.kv_heads));
     engines_.reserve(static_cast<std::size_t>(cfg_.kv_heads));
@@ -32,8 +32,10 @@ LayerEngine::LayerEngine(const LayerEngineConfig &cfg,
 void
 LayerEngine::appendToken(const MatrixI8 &k, const MatrixI8 &v)
 {
-    assert(k.rows() == cfg_.kv_heads && v.rows() == cfg_.kv_heads);
-    assert(k.cols() == cfg_.head_dim && v.cols() == cfg_.head_dim);
+    PADE_CHECK_EQ(k.rows(), cfg_.kv_heads);
+    PADE_CHECK_EQ(v.rows(), cfg_.kv_heads);
+    PADE_CHECK_EQ(k.cols(), cfg_.head_dim);
+    PADE_CHECK_EQ(v.cols(), cfg_.head_dim);
     for (int kv = 0; kv < cfg_.kv_heads; kv++)
         caches_[static_cast<std::size_t>(kv)].appendToken(k.row(kv),
                                                           v.row(kv));
@@ -46,9 +48,11 @@ LayerEngine::runHeads(const MatrixI8 &q,
                       MatrixF &out, ThreadPool *pool, int qpos,
                       int prompt_len)
 {
-    assert(q.rows() == cfg_.heads && q.cols() == cfg_.head_dim);
-    assert(out.rows() == cfg_.heads && out.cols() == cfg_.head_dim);
-    assert(static_cast<int>(logit_scales.size()) == cfg_.kv_heads);
+    PADE_CHECK_EQ(q.rows(), cfg_.heads);
+    PADE_CHECK_EQ(q.cols(), cfg_.head_dim);
+    PADE_CHECK_EQ(out.rows(), cfg_.heads);
+    PADE_CHECK_EQ(out.cols(), cfg_.head_dim);
+    PADE_CHECK_EQ(static_cast<int>(logit_scales.size()), cfg_.kv_heads);
     const int group = cfg_.groupSize();
 
     // One KV head's work: its group of query rows against its shared
@@ -90,7 +94,7 @@ LayerEngine::decode(const MatrixI8 &q,
                     std::span<const float> logit_scales, MatrixF &out,
                     ThreadPool *pool)
 {
-    assert(tokens_ > 0);
+    PADE_CHECK_GT(tokens_, 0);
     return runHeads(q, logit_scales, out, pool, /*qpos=*/-1,
                     /*prompt_len=*/-1);
 }
@@ -101,7 +105,9 @@ LayerEngine::prefillPosition(const MatrixI8 &q, int qpos,
                              std::span<const float> logit_scales,
                              MatrixF &out, ThreadPool *pool)
 {
-    assert(qpos >= 0 && qpos < prompt_len && tokens_ > qpos);
+    PADE_CHECK_GE(qpos, 0);
+    PADE_CHECK_LT(qpos, prompt_len);
+    PADE_CHECK_GT(tokens_, qpos);
     return runHeads(q, logit_scales, out, pool, qpos, prompt_len);
 }
 

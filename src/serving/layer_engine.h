@@ -25,6 +25,16 @@
  * per-KV-head results in ascending KV-head order on the caller —
  * outputs and statistics are bit-identical for every thread count.
  *
+ * Thread safety: there is deliberately no mutex in this class. All
+ * mutable state is partitioned per KV head (one KvCache + DecodeEngine
+ * per stream), the pool fan-out gives each worker exactly one
+ * partition, and the barrier inside parallelFor orders every fan-out
+ * against the caller's next mutation. Concurrent use of ONE LayerEngine
+ * from several caller threads is not supported — that serialization
+ * belongs to the owner (ContinuousBatcher advances a session from one
+ * worker per round). The TSan CI leg runs this fan-out under
+ * contention (tests/test_concurrency_stress.cc).
+ *
  * Head layout convention (shared with LayerWorkload): global query
  * head h belongs to KV head h / groupSize(), and matrices passed to
  * decode()/prefillChunk() hold head h's row at index h — so a KV

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Concurrency stress tests, written for the ThreadSanitizer CI leg
+ * (-DPADE_SANITIZE=thread). Each test exercises one of the documented
+ * concurrency contracts under real thread contention:
+ *
+ *  - ContinuousBatcher: many sessions advanced concurrently across a
+ *    round share only the RoundAccounting byte counter — outputs must
+ *    be bit-identical across thread counts, and TSan must see no
+ *    unsynchronized access;
+ *  - ThreadPool: nested parallelFor under heavy contention (the
+ *    help-drain path runs on many threads at once);
+ *  - KvCache: the "const accessors are safe across concurrent readers
+ *    between mutations" contract — the GQA decode path's foundation —
+ *    with several DecodeEngines scanning ONE shared cache at once.
+ *
+ * The assertions also run (and pass) in plain builds; under TSan they
+ * double as data-race detectors for the serving stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.h"
+#include "serving/continuous_batcher.h"
+#include "serving/decode_engine.h"
+#include "serving/kv_cache.h"
+#include "workload/generator.h"
+
+namespace pade {
+namespace {
+
+// ---------------------------------------------------------------------
+// ContinuousBatcher: many sessions, rounds fanned across the pool.
+// ---------------------------------------------------------------------
+
+std::vector<ServingRequest>
+stressTrace(int requests, uint64_t seed)
+{
+    TraceSpec ts;
+    ts.num_requests = requests;
+    ts.rate_per_s = 8000.0; // dense arrivals => full rounds
+    ts.prompt_min = 8;
+    ts.prompt_max = 32;
+    ts.decode_min = 2;
+    ts.decode_max = 6;
+    ts.seed = seed;
+    return poissonArrivalTrace(ts);
+}
+
+ServingReport
+runStress(const std::vector<ServingRequest> &trace, int threads)
+{
+    BatcherOptions opt;
+    opt.threads = threads;
+    opt.max_active = 6; // > threads for 2, < for 8: both schedules
+    opt.prefill_chunk = 8;
+    opt.heads = 4;
+    opt.kv_heads = 2; // GQA: grouped heads share one cache
+    opt.head_dim = 32;
+    opt.page_tokens = 16; // small pages => frequent page turnover
+    return ContinuousBatcher(opt).run(trace);
+}
+
+TEST(ConcurrencyStress, BatcherManySessionsIdenticalAtThreads2And8)
+{
+    const std::vector<ServingRequest> trace = stressTrace(12, 2024);
+    const ServingReport a = runStress(trace, 2);
+    const ServingReport b = runStress(trace, 8);
+
+    ASSERT_EQ(a.sessions.size(), trace.size());
+    ASSERT_EQ(b.sessions.size(), trace.size());
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.prefill_checksum, b.prefill_checksum);
+    for (std::size_t i = 0; i < trace.size(); i++) {
+        EXPECT_EQ(a.sessions[i].checksum, b.sessions[i].checksum);
+        EXPECT_EQ(a.sessions[i].prefill_checksum,
+                  b.sessions[i].prefill_checksum);
+    }
+    EXPECT_EQ(a.tokens_decoded, b.tokens_decoded);
+    EXPECT_EQ(a.tokens_prefilled, b.tokens_prefilled);
+    // RoundAccounting folds per-session KV bytes concurrently;
+    // size_t addition commutes, so the peak is thread-invariant too.
+    EXPECT_EQ(a.peak_cache_bytes, b.peak_cache_bytes);
+    EXPECT_GT(a.peak_cache_bytes, 0u);
+}
+
+TEST(ConcurrencyStress, BatcherRepeatedRoundsStayDeterministic)
+{
+    // Same trace served repeatedly on a contended pool: any hidden
+    // shared state between runs (or a race inside one) would show up
+    // as checksum drift — and as a TSan report in the sanitizer leg.
+    const std::vector<ServingRequest> trace = stressTrace(8, 7);
+    const ServingReport first = runStress(trace, 8);
+    for (int round = 0; round < 3; round++) {
+        const ServingReport again = runStress(trace, 8);
+        EXPECT_EQ(again.checksum, first.checksum);
+        EXPECT_EQ(again.prefill_checksum, first.prefill_checksum);
+    }
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool: nested fan-out under contention.
+// ---------------------------------------------------------------------
+
+TEST(ConcurrencyStress, NestedParallelForUnderContention)
+{
+    // Every outer task immediately nests another parallelFor, so the
+    // workers AND the outer waiters all run the help-drain path at
+    // once. Counts prove exactly-once execution; TSan watches the
+    // parallelFor State and the pool queue.
+    for (const int threads : {2, 8}) {
+        ThreadPool pool(threads);
+        std::atomic<int> inner{0};
+        std::atomic<int> outer{0};
+        parallelFor(pool, 16, [&pool, &inner, &outer](int) {
+            outer++;
+            parallelFor(pool, 16, [&inner](int) { inner++; });
+        });
+        EXPECT_EQ(outer.load(), 16);
+        EXPECT_EQ(inner.load(), 16 * 16);
+    }
+}
+
+TEST(ConcurrencyStress, SubmitWaitIdleChurn)
+{
+    // Interleave submit bursts with waitIdle from the main thread
+    // while workers drain: stresses cv_task_/cv_idle_ signalling.
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int burst = 0; burst < 20; burst++) {
+        for (int i = 0; i < 25; i++)
+            pool.submit([&done] { done++; });
+        pool.waitIdle();
+        EXPECT_EQ(done.load(), (burst + 1) * 25);
+    }
+}
+
+// ---------------------------------------------------------------------
+// KvCache: concurrent readers of one shared cache.
+// ---------------------------------------------------------------------
+
+TEST(ConcurrencyStress, ConcurrentStepGroupOverSharedCacheMatchesSerial)
+{
+    // One KV stream, several reader threads. Each thread owns a
+    // private DecodeEngine (engines hold mutable scratch) but scans
+    // the SAME KvCache concurrently — the documented contract: const
+    // accessors are safe between mutations. Every thread's outputs
+    // must be bit-identical to a serial reference engine's.
+    const int head_dim = 32;
+    const int bits = 8;
+    const int prompt = 96;
+    const int group = 4; // grouped query heads sharing the KV head
+
+    WorkloadSpec spec;
+    spec.seq_len = prompt;
+    spec.query_len = group;
+    spec.head_dim = head_dim;
+    spec.seed = 4242;
+    const AttentionHead fh = generateHead(spec);
+    const QuantizedHead full = quantizeHead(fh, bits);
+
+    KvCacheConfig kc;
+    kc.head_dim = head_dim;
+    kc.bits = bits;
+    kc.page_tokens = 16;
+    kc.v_scale = full.v.params.scale;
+    KvCache cache(kc);
+    for (int t = 0; t < prompt; t++)
+        cache.appendToken(full.k.values.row(t), full.v.values.row(t));
+
+    // Serial reference: one engine, one grouped step.
+    PadeConfig cfg;
+    MatrixF ref(group, head_dim);
+    {
+        DecodeEngine engine(cfg);
+        engine.stepGroup(cache, full.q.values, 0, group,
+                         full.logit_scale, ref, 0);
+    }
+
+    const int readers = 8;
+    std::vector<MatrixF> outs;
+    outs.reserve(static_cast<std::size_t>(readers));
+    for (int r = 0; r < readers; r++)
+        outs.emplace_back(group, head_dim);
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(readers));
+    for (int r = 0; r < readers; r++) {
+        threads.emplace_back([&cache, &full, &outs, r] {
+            DecodeEngine engine{PadeConfig{}};
+            // Re-scan several times to lengthen the overlap window.
+            for (int rep = 0; rep < 4; rep++)
+                engine.stepGroup(cache, full.q.values, 0, group,
+                                 full.logit_scale,
+                                 outs[static_cast<std::size_t>(r)],
+                                 0);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    for (int r = 0; r < readers; r++)
+        for (int g = 0; g < group; g++)
+            for (int d = 0; d < head_dim; d++)
+                EXPECT_EQ(std::bit_cast<uint32_t>(
+                              outs[static_cast<std::size_t>(r)].at(
+                                  g, d)),
+                          std::bit_cast<uint32_t>(ref.at(g, d)))
+                    << "reader " << r << " head " << g << " dim "
+                    << d;
+}
+
+TEST(ConcurrencyStress, ReadersInterleavedWithSerializedMutations)
+{
+    // The full contract: mutations serialized by the owner, readers
+    // concurrent BETWEEN mutations. Alternate append phases (single
+    // thread) with concurrent read phases and check reader outputs
+    // against a serial engine at every phase boundary.
+    const int head_dim = 32;
+    const int bits = 8;
+    const int total = 64;
+    const int phase_tokens = 16;
+
+    WorkloadSpec spec;
+    spec.seq_len = total;
+    spec.query_len = 1;
+    spec.head_dim = head_dim;
+    spec.seed = 99;
+    const AttentionHead fh = generateHead(spec);
+    const QuantizedHead full = quantizeHead(fh, bits);
+
+    KvCacheConfig kc;
+    kc.head_dim = head_dim;
+    kc.bits = bits;
+    kc.page_tokens = 8;
+    kc.v_scale = full.v.params.scale;
+    KvCache cache(kc);
+
+    std::vector<float> ref(static_cast<std::size_t>(head_dim));
+    for (int base = 0; base < total; base += phase_tokens) {
+        // Mutation phase: owner appends a batch of tokens.
+        for (int t = base; t < base + phase_tokens; t++)
+            cache.appendToken(full.k.values.row(t),
+                              full.v.values.row(t));
+
+        // Reference scan for this history length.
+        {
+            DecodeEngine engine{PadeConfig{}};
+            engine.step(cache, full.q.values.row(0),
+                        full.logit_scale, ref);
+        }
+
+        // Concurrent read phase.
+        const int readers = 4;
+        std::vector<std::vector<float>> outs(
+            static_cast<std::size_t>(readers),
+            std::vector<float>(static_cast<std::size_t>(head_dim)));
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(readers));
+        for (int r = 0; r < readers; r++) {
+            threads.emplace_back([&cache, &full, &outs, r] {
+                DecodeEngine engine{PadeConfig{}};
+                engine.step(cache, full.q.values.row(0),
+                            full.logit_scale,
+                            outs[static_cast<std::size_t>(r)]);
+            });
+        }
+        for (std::thread &t : threads)
+            t.join();
+
+        for (int r = 0; r < readers; r++)
+            for (int d = 0; d < head_dim; d++)
+                EXPECT_EQ(
+                    std::bit_cast<uint32_t>(
+                        outs[static_cast<std::size_t>(r)]
+                            [static_cast<std::size_t>(d)]),
+                    std::bit_cast<uint32_t>(
+                        ref[static_cast<std::size_t>(d)]))
+                    << "history " << base + phase_tokens << " reader "
+                    << r << " dim " << d;
+    }
+}
+
+} // namespace
+} // namespace pade

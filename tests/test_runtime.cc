@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "runtime/batch_driver.h"
@@ -66,6 +67,88 @@ TEST(ThreadPool, NestedParallelForOnOnePoolDoesNotDeadlock)
         parallelFor(pool, 4, [&inner_runs](int) { inner_runs++; });
     });
     EXPECT_EQ(inner_runs.load(), 12);
+}
+
+TEST(ThreadPool, DestructorCompletesQueuedWork)
+{
+    // The dtor contract: queued tasks are drained, not dropped. Stall
+    // the single worker so submissions pile up behind it, then
+    // destroy the pool while the queue is provably non-empty.
+    std::atomic<int> done{0};
+    std::atomic<bool> release{false};
+    {
+        ThreadPool pool(1);
+        pool.submit([&release] {
+            while (!release.load())
+                std::this_thread::yield();
+        });
+        for (int i = 0; i < 32; i++)
+            pool.submit([&done] { done++; });
+        release.store(true);
+    } // ~ThreadPool joins here
+    EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, TryRunOneOnEmptyQueueReturnsFalse)
+{
+    ThreadPool pool(1);
+    pool.waitIdle();
+    EXPECT_FALSE(pool.tryRunOne());
+}
+
+TEST(ThreadPool, TryRunOneDrainsQueueWithoutWorkers)
+{
+    // Starvation case: the only worker is pinned, so the caller's
+    // tryRunOne loop is the sole source of progress for queued tasks.
+    ThreadPool pool(1);
+    std::atomic<bool> started{false};
+    std::atomic<bool> release{false};
+    pool.submit([&started, &release] {
+        started.store(true);
+        while (!release.load())
+            std::this_thread::yield();
+    });
+    // Wait until the WORKER holds the pinned task; otherwise the
+    // tryRunOne loop below could dequeue it on this thread and spin
+    // forever (release is only set after the loop).
+    while (!started.load())
+        std::this_thread::yield();
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 8; i++)
+        pool.submit([&ran] { ran++; });
+    while (pool.tryRunOne()) {
+    }
+    EXPECT_EQ(ran.load(), 8);
+    release.store(true);
+    pool.waitIdle();
+}
+
+TEST(ThreadPool, ZeroThreadsPicksHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), ThreadPool::hardwareThreads());
+    EXPECT_GE(pool.threadCount(), 1);
+    std::atomic<int> count{0};
+    parallelFor(pool, 10, [&count](int) { count++; });
+    EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForEveryTaskThrowingRethrowsOne)
+{
+    // Even when every index throws, exactly one exception surfaces
+    // after ALL tasks finish — no cancelled task, no lost worker.
+    ThreadPool pool(2);
+    std::atomic<int> attempts{0};
+    EXPECT_THROW(parallelFor(pool, 8,
+                             [&attempts](int) {
+                                 attempts++;
+                                 throw std::runtime_error("all fail");
+                             }),
+                 std::runtime_error);
+    EXPECT_EQ(attempts.load(), 8);
+    std::atomic<int> after{0};
+    parallelFor(pool, 4, [&after](int) { after++; });
+    EXPECT_EQ(after.load(), 4);
 }
 
 TEST(ThreadPool, WaitIdleOnEmptyPoolReturnsImmediately)
@@ -246,9 +329,11 @@ TEST(BatchDriver, LatencyPercentilesCoverSuccessfulRequests)
     const BatchResult r = driver.run(ArchConfig{}, reqs);
     ASSERT_EQ(r.completed, 7);
     ASSERT_EQ(r.failed, 1);
-    for (std::size_t i = 0; i < reqs.size(); i++)
-        if (r.results[i].ok)
+    for (std::size_t i = 0; i < reqs.size(); i++) {
+        if (r.results[i].ok) {
             EXPECT_GE(r.results[i].wall_ms, 0.0);
+        }
+    }
     EXPECT_GE(r.latency_ms.p99, r.latency_ms.p95);
     EXPECT_GE(r.latency_ms.p95, r.latency_ms.p50);
     EXPECT_GE(r.latency_ms.p50, 0.0);

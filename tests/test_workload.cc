@@ -194,8 +194,9 @@ TEST(PoissonTrace, DeterministicAndSorted)
         EXPECT_EQ(a[i].prompt_len, b[i].prompt_len);
         EXPECT_EQ(a[i].decode_steps, b[i].decode_steps);
         EXPECT_EQ(a[i].seed, b[i].seed);
-        if (i > 0)
+        if (i > 0) {
             EXPECT_GE(a[i].arrival_ms, a[i - 1].arrival_ms);
+        }
     }
     spec.seed = 10;
     const auto c = poissonArrivalTrace(spec);
