@@ -4,7 +4,7 @@
  * machine-readable BENCH_perf.json so the performance trajectory is
  * visible across PRs (CI uploads the file as an artifact).
  *
- * Six stages are measured:
+ * Seven stages are measured:
  *  1. QK scoring kernel — the three-way kernel comparison (scalar
  *     ctz-walk oracle, word-parallel popcount, AVX2 SIMD backend)
  *     across {seq, bits, head_dim} points, including the
@@ -27,7 +27,17 @@
  *     KV stream amortizes the append and the per-key page/PlaneWork
  *     lookups across the group, so the grouped cost sits measurably
  *     below heads-times-single — and KV residency scales with
- *     kv_heads, not heads.
+ *     kv_heads, not heads;
+ *  7. model serving — (a) the ModelEngine's software-pipelined layer
+ *     schedule against the serial layer-by-layer reference at 2 and 4
+ *     layers: wall time (same pool for both, so the GQA fan-out is
+ *     held equal) plus the round (critical-path span) speedup, the
+ *     schedule property the wall ratio realizes once the host has
+ *     >= layers cores; and (b) a
+ *     ContinuousBatcher run over a shared-prefix trace with the
+ *     cross-session prefix cache off vs on — adopted prompt tokens,
+ *     KV bytes never re-materialized, and the (bit-identical)
+ *     checksum match.
  *
  * Flags: --quick (CI smoke: fewer/smaller points), --reps=N best-of
  * repetitions (default 3), --out=FILE (default BENCH_perf.json),
@@ -46,7 +56,10 @@
 #include "core/simd/qk_dispatch.h"
 #include "quant/bitplane.h"
 #include "runtime/batch_driver.h"
+#include "runtime/thread_pool.h"
+#include "serving/continuous_batcher.h"
 #include "serving/layer_engine.h"
+#include "serving/model_engine.h"
 #include "workload/generator.h"
 
 using namespace pade;
@@ -232,6 +245,89 @@ measureGqaDecode(int heads, int kv_heads, int ctx, int steps, int reps,
     return cost;
 }
 
+/** Section 7a measurement: wall time and scheduling-round count. */
+struct ModelServeCost
+{
+    double us_per_tok = 0.0;
+    /** advance() rounds to drain the stream. A pipelined round runs
+     *  its flights concurrently (one unit of critical-path span);
+     *  a serial round runs one whole token (`layers` units of span).
+     *  serial_rounds * layers / pipelined_rounds is therefore the
+     *  schedule's critical-path speedup given >= layers workers —
+     *  deterministic, unlike the wall ratio, which saturates at the
+     *  host's actual core count (1.0 on a single-core runner). */
+    int64_t rounds = 0;
+};
+
+/**
+ * Per-position cost of one whole-model token stream (section 7a):
+ * every position of a ctx-token prompt plus `steps` decode tokens is
+ * fed up front and the engine drained once, so the pipelined schedule
+ * keeps its flight window full — layer l of token t overlapping layer
+ * l+1 of token t-1 — while the serial reference schedule runs the
+ * identical stream layer-by-layer. Both schedules get the SAME pool
+ * (the serial one still fans its GQA groups out on it), so the ratio
+ * isolates the pipeline overlap.
+ */
+ModelServeCost
+measureModelServe(int layers, bool pipeline, ThreadPool *pool, int ctx,
+                  int steps, int reps, int64_t &checksum)
+{
+    ModelSpec spec;
+    spec.layers = layers;
+    spec.heads = 8;
+    spec.kv_heads = 2;
+    spec.head_dim = 64;
+    spec.prompt_len = ctx;
+    spec.decode_steps = steps;
+    spec.seed = 42;
+    ModelWorkload work(spec);
+
+    ModelEngineConfig mc;
+    mc.layers = layers;
+    mc.pipeline = pipeline;
+    mc.layer.heads = spec.heads;
+    mc.layer.kv_heads = spec.kv_heads;
+    mc.layer.head_dim = spec.head_dim;
+    mc.layer.page_tokens = 64;
+
+    const auto streams = static_cast<std::size_t>(layers) *
+        static_cast<std::size_t>(spec.kv_heads);
+    const std::vector<float> v_scales(streams, work.vScale());
+    const std::vector<float> logit_scales(streams, work.logitScale());
+
+    ModelServeCost cost;
+    for (int r = 0; r < std::max(1, reps); r++) {
+        int64_t retained = 0;
+        ModelEngine engine(
+            mc, v_scales, logit_scales,
+            [&work](int layer, int pos, MatrixI8 &k, MatrixI8 &v,
+                    MatrixI8 &q) {
+                work.stageKv(layer, pos, k, v);
+                work.stageQueries(layer, pos, q);
+            },
+            [&retained](const TokenResult &tr) {
+                for (const LayerStep &st : tr.steps)
+                    retained += st.retained;
+            });
+        int64_t rounds = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (int pos = 0; pos < spec.positions(); pos++)
+            engine.feed(pos, spec.prompt_len);
+        while (engine.advance(pool))
+            rounds++;
+        const double us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count() /
+            spec.positions();
+        checksum += retained;
+        cost.rounds = rounds;
+        if (r == 0 || us < cost.us_per_tok)
+            cost.us_per_tok = us;
+    }
+    return cost;
+}
+
 } // namespace
 
 int
@@ -264,7 +360,7 @@ main(int argc, char **argv)
     //    SIMD backend targets (ISSUE 3 acceptance: >= 1.5x over
     //    popcount there).
     // ------------------------------------------------------------------
-    std::printf("\n[1/6] QK scoring kernel (exactDot over all pairs; "
+    std::printf("\n[1/7] QK scoring kernel (exactDot over all pairs; "
                 "simd %s)\n",
                 qkSimdAvailable() ? "available" : "UNAVAILABLE");
     Table t1;
@@ -345,7 +441,7 @@ main(int argc, char **argv)
     //    workspace. kSimd silently resolves to kPopcount when the
     //    backend is unavailable (the two columns then read the same).
     // ------------------------------------------------------------------
-    std::printf("\n[2/6] padeAttention (guarded, workspace reuse)\n");
+    std::printf("\n[2/7] padeAttention (guarded, workspace reuse)\n");
     Table t2;
     t2.header({"seq", "scalar ms", "popcount ms", "simd ms",
                "simd/scalar", "keep rate"});
@@ -389,7 +485,7 @@ main(int argc, char **argv)
     // ------------------------------------------------------------------
     // 3. Reference attention (cache-blocked matmul path + flash).
     // ------------------------------------------------------------------
-    std::printf("\n[3/6] reference attention (oracle path)\n");
+    std::printf("\n[3/7] reference attention (oracle path)\n");
     Table t3;
     t3.header({"seq", "queries", "dense ms", "flash ms"});
     json.openArray("reference");
@@ -425,7 +521,7 @@ main(int argc, char **argv)
     // ------------------------------------------------------------------
     // 4. Batch-driver sweep across {seq, bits, concentration}.
     // ------------------------------------------------------------------
-    std::printf("\n[4/6] batch-driver sweep (%d workers)\n",
+    std::printf("\n[4/7] batch-driver sweep (%d workers)\n",
                 sweep_threads);
     std::vector<BatchItem> sweep;
     for (int seq : quick ? std::vector<int>{2048}
@@ -464,7 +560,7 @@ main(int argc, char **argv)
     //    re-pack cost is O(context); the total step cost additionally
     //    carries the O(context) guarded scan both paths share.
     // ------------------------------------------------------------------
-    std::printf("\n[5/6] serving decode (incremental KvCache vs "
+    std::printf("\n[5/7] serving decode (incremental KvCache vs "
                 "re-pack)\n");
     Table t5;
     t5.header({"ctx", "append us/tok", "cached us/tok",
@@ -511,7 +607,7 @@ main(int argc, char **argv)
     //    across the group (acceptance: the 8:1 ratio sits measurably
     //    below 1.0), and KV residency scales with kv_heads.
     // ------------------------------------------------------------------
-    std::printf("\n[6/6] GQA layer decode (8 query heads, shared KV "
+    std::printf("\n[6/7] GQA layer decode (8 query heads, shared KV "
                 "caches)\n");
     Table t6;
     t6.header({"heads", "kv", "ratio", "ctx", "layer us/tok",
@@ -558,6 +654,141 @@ main(int argc, char **argv)
     }
     json.close(true);
     t6.print();
+
+    // ------------------------------------------------------------------
+    // 7. Model serving: (a) pipelined vs serial ModelEngine layer
+    //    schedule (same pool, same token stream — the ratio is the
+    //    pipeline overlap), (b) cross-session prefix caching in the
+    //    ContinuousBatcher (adopted tokens + KV bytes saved; the
+    //    checksums must match bit for bit, cache on or off).
+    // ------------------------------------------------------------------
+    std::printf("\n[7/7] model serving (pipelined layers, prefix "
+                "cache)\n");
+    Table t7;
+    t7.header({"layers", "serial us/tok", "pipelined us/tok",
+               "wall speedup", "round speedup"});
+    json.openArray("model_pipeline");
+    {
+        const int ctx = quick ? 192 : 384;
+        const int steps = quick ? 16 : 32;
+        ThreadPool pool(sweep_threads);
+        for (int layers : {2, 4}) {
+            const ModelServeCost serial = measureModelServe(
+                layers, false, &pool, ctx, steps, reps, checksum);
+            const ModelServeCost piped = measureModelServe(
+                layers, true, &pool, ctx, steps, reps, checksum);
+            // Critical-path span ratio of the two schedules: a serial
+            // round is `layers` sequential units, a pipelined round
+            // is one (its flights run concurrently). This is the
+            // speedup the pipeline delivers given >= layers workers;
+            // the wall ratio realizes it up to the host core count.
+            const double round_speedup =
+                static_cast<double>(serial.rounds * layers) /
+                static_cast<double>(piped.rounds);
+            t7.row({std::to_string(layers),
+                    Table::num(serial.us_per_tok, 1),
+                    Table::num(piped.us_per_tok, 1),
+                    Table::num(serial.us_per_tok / piped.us_per_tok,
+                               2),
+                    Table::num(round_speedup, 2)});
+            json.openObject();
+            json.field("layers", static_cast<int64_t>(layers));
+            json.field("ctx", static_cast<int64_t>(ctx));
+            json.field("decode_steps", static_cast<int64_t>(steps));
+            json.field("serial_us_per_tok", serial.us_per_tok);
+            json.field("pipelined_us_per_tok", piped.us_per_tok);
+            json.field("serial_rounds", serial.rounds);
+            json.field("pipelined_rounds", piped.rounds);
+            json.field("wall_speedup",
+                       serial.us_per_tok / piped.us_per_tok);
+            json.field("round_speedup_pipelined_vs_serial",
+                       round_speedup);
+            json.close();
+        }
+    }
+    json.close(true);
+    t7.print();
+
+    {
+        TraceSpec ts;
+        ts.num_requests = quick ? 10 : 16;
+        ts.rate_per_s = 4000.0;
+        ts.prompt_min = 24;
+        ts.prompt_max = 48;
+        ts.decode_min = 4;
+        ts.decode_max = 8;
+        ts.seed = 2026;
+        ts.prefix_groups = 2;
+        ts.prefix_tokens = 128;
+        const std::vector<ServingRequest> trace =
+            poissonArrivalTrace(ts);
+
+        BatcherOptions opt;
+        opt.threads = sweep_threads;
+        opt.max_active = 4;
+        opt.prefill_chunk = 32;
+        opt.layers = 2;
+        opt.heads = 4;
+        opt.kv_heads = 2;
+        opt.head_dim = 64;
+        opt.page_tokens = 64; // prefix spans exactly 2 shared pages
+        ServingReport cold;
+        ServingReport warm;
+        const double cold_ms = bestMs(1, [&] {
+            cold = ContinuousBatcher(opt).run(trace);
+        });
+        opt.prefix_cache = true;
+        const double warm_ms = bestMs(1, [&] {
+            warm = ContinuousBatcher(opt).run(trace);
+        });
+        checksum += static_cast<int64_t>(warm.checksum & 0xffff);
+
+        const bool match = cold.checksum == warm.checksum &&
+            cold.prefill_checksum == warm.prefill_checksum;
+        if (!match)
+            std::fprintf(stderr,
+                         "prefix cache changed outputs (BUG)\n");
+        const double hit_rate = warm.tokens_prefilled > 0
+            ? static_cast<double>(warm.tokens_prefix_hit) /
+                static_cast<double>(warm.tokens_prefilled)
+            : 0.0;
+        std::printf("prefix cache: %llu/%llu prompt tokens adopted "
+                    "(%.0f%%), %.2f MB KV never re-materialized, "
+                    "checksums %s (cold %.1f ms, warm %.1f ms)\n",
+                    static_cast<unsigned long long>(
+                        warm.tokens_prefix_hit),
+                    static_cast<unsigned long long>(
+                        warm.tokens_prefilled),
+                    hit_rate * 100.0,
+                    static_cast<double>(warm.prefix_bytes_saved) /
+                        1e6,
+                    match ? "MATCH" : "MISMATCH",
+                    cold_ms, warm_ms);
+
+        json.openObject("prefix_cache");
+        json.field("requests",
+                   static_cast<int64_t>(trace.size()));
+        json.field("prefix_groups",
+                   static_cast<int64_t>(ts.prefix_groups));
+        json.field("prefix_tokens",
+                   static_cast<int64_t>(ts.prefix_tokens));
+        json.field("cold_wall_ms", cold_ms);
+        json.field("warm_wall_ms", warm_ms);
+        json.field("tokens_prefilled",
+                   static_cast<int64_t>(warm.tokens_prefilled));
+        json.field("tokens_prefix_hit",
+                   static_cast<int64_t>(warm.tokens_prefix_hit));
+        json.field("hit_rate", hit_rate);
+        json.field("prefix_bytes_saved",
+                   static_cast<int64_t>(warm.prefix_bytes_saved));
+        json.field("index_published",
+                   static_cast<int64_t>(warm.prefix.published));
+        json.field("index_hit_pages",
+                   static_cast<int64_t>(warm.prefix.hit_pages));
+        json.field("checksum_match",
+                   std::string(match ? "true" : "false"));
+        json.close();
+    }
 
     json.field("checksum", checksum);
     json.close();

@@ -11,7 +11,7 @@
 #include "common/thread_annotations.h"
 #include "runtime/mutex.h"
 #include "runtime/thread_pool.h"
-#include "serving/layer_engine.h"
+#include "serving/model_engine.h"
 
 namespace pade {
 
@@ -49,21 +49,22 @@ struct Session
     double admit_ms;
     int admit_seq;
     double first_token_ms = -1.0;
-    int prefilled = 0;
+    int prefilled = 0; //!< prompt tokens done (adopted + scored)
     int decoded = 0;
     uint64_t checksum = 0;
     uint64_t prefill_checksum = 0;
 
-    std::optional<LayerWorkload> work;
-    std::optional<LayerEngine> layer;
-    std::vector<float> logit_scales;
-    // Per-position staging: row kv/h = that KV/query head's row for
-    // the position being appended/scored (the head-major layout
-    // LayerEngine consumes). Sized once at materialization.
-    MatrixI8 k_stage;
-    MatrixI8 v_stage;
-    MatrixI8 q_stage;
-    MatrixF out;
+    std::optional<ModelWorkload> work;
+    std::optional<ModelEngine> engine;
+
+    // Prefix-cache state: the prompt's page chain, how many of its
+    // nodes this session holds reader refs on (to release at
+    // eviction), and what adoption saved.
+    std::vector<uint64_t> chain;
+    int chain_acquired = 0;
+    bool published = false;
+    int prefix_hit_tokens = 0;
+    std::size_t prefix_bytes_saved = 0;
 
     /**
      * Finished = materialized, whole prompt prefilled+scored, every
@@ -74,7 +75,7 @@ struct Session
     bool
     done() const
     {
-        return layer.has_value() && prefilled >= req->prompt_len &&
+        return engine.has_value() && prefilled >= req->prompt_len &&
             decoded >= req->decode_steps;
     }
 };
@@ -117,98 +118,143 @@ struct RoundAccounting
  */
 void
 stepSession(Session &s, const BatcherOptions &opt, ThreadPool *pool,
-            RoundAccounting &round)
+            RoundAccounting &round, PrefixIndex *index)
 {
     const ServingRequest &req = *s.req;
     // Fold this session's resident bytes into the round total on the
     // way out, whatever unit ran (including early returns below).
+    // Adopted prefix pages count once per adopter — the total is the
+    // bytes sessions *reference*, the saving is reported separately.
     struct BytesOnExit
     {
         Session &s;
         RoundAccounting &round;
         ~BytesOnExit()
         {
-            if (s.layer)
-                round.add(s.layer->bytesUsed());
+            if (s.engine)
+                round.add(s.engine->bytesUsed());
         }
     } bytes_on_exit{s, round};
 
-    if (!s.layer) {
-        // Unit 1: materialize the session workload — one quantized
-        // GQA layer whose K/V streams feed the caches and whose query
-        // rows drive scored prefill (prompt positions) and decode
-        // (tail positions). Quantization scales are fixed once here,
-        // so incremental packing is bit-identical to packing the full
-        // history at any step.
-        LayerSpec spec;
+    if (!s.engine) {
+        // Unit 1: materialize the session — a whole-model workload
+        // (static quantization scales, prefix-pure rows; see
+        // ModelWorkload) and its pipelined engine — then adopt any
+        // prefix pages an earlier session already published.
+        ModelSpec spec;
+        spec.layers = opt.layers;
         spec.heads = opt.heads;
         spec.kv_heads = opt.kv_heads;
         spec.head_dim = opt.head_dim;
         spec.prompt_len = req.prompt_len;
         spec.decode_steps = req.decode_steps;
         spec.bits = opt.bits;
+        spec.prefix_len = req.prefix_len;
+        spec.prefix_seed = req.prefix_seed;
         spec.concentration = opt.concentration;
         spec.locality = opt.locality;
         spec.seed = req.seed;
-        s.work.emplace(generateLayerWorkload(spec));
+        s.work.emplace(spec);
 
-        LayerEngineConfig lc;
-        lc.heads = opt.heads;
-        lc.kv_heads = opt.kv_heads;
-        lc.head_dim = opt.head_dim;
-        lc.bits = opt.bits;
-        lc.page_tokens = opt.page_tokens;
-        lc.pade = opt.pade;
-        lc.retention = opt.retention;
-        s.logit_scales.clear();
-        s.logit_scales.reserve(s.work->groups.size());
-        std::vector<float> v_scales;
-        v_scales.reserve(s.work->groups.size());
-        for (const QuantizedHead &g : s.work->groups) {
-            v_scales.push_back(g.v.params.scale);
-            s.logit_scales.push_back(g.logit_scale);
+        ModelEngineConfig mc;
+        mc.layers = opt.layers;
+        mc.pipeline = opt.pipeline;
+        mc.layer.heads = opt.heads;
+        mc.layer.kv_heads = opt.kv_heads;
+        mc.layer.head_dim = opt.head_dim;
+        mc.layer.bits = opt.bits;
+        mc.layer.page_tokens = opt.page_tokens;
+        mc.layer.pade = opt.pade;
+        mc.layer.retention = opt.retention;
+        const std::size_t streams =
+            static_cast<std::size_t>(opt.layers) *
+            static_cast<std::size_t>(opt.kv_heads);
+        const std::vector<float> v_scales(streams, s.work->vScale());
+        const std::vector<float> logit_scales(streams,
+                                              s.work->logitScale());
+        Session *self = &s;
+        s.engine.emplace(
+            mc, v_scales, logit_scales,
+            [self](int layer, int pos, MatrixI8 &k, MatrixI8 &v,
+                   MatrixI8 &q) {
+                self->work->stageKv(layer, pos, k, v);
+                self->work->stageQueries(layer, pos, q);
+            },
+            [self](const TokenResult &tr) {
+                // Canonical emission order (feed order; layers
+                // ascending within a token) in both schedules, so
+                // sequential mixing is schedule-invariant. Prefix
+                // positions are skipped entirely on a cache hit, so
+                // they must not feed the checksum on a miss either.
+                const ServingRequest &r = *self->req;
+                if (tr.pos >= r.prompt_len) {
+                    for (const MatrixF &out : tr.outs)
+                        self->checksum =
+                            mixMatrix(self->checksum, out);
+                } else if (tr.pos >= r.prefix_len) {
+                    for (const MatrixF &out : tr.outs)
+                        self->prefill_checksum =
+                            mixMatrix(self->prefill_checksum, out);
+                }
+            });
+
+        if (index && req.prefix_len >= opt.page_tokens) {
+            s.chain = s.work->prefixPageChain(opt.page_tokens);
+            PrefixMatch match = index->acquire(s.chain);
+            s.chain_acquired = match.pages;
+            for (int d = 0; d < match.pages; d++)
+                s.engine->adoptPrefixPages(
+                    std::span<const std::shared_ptr<const KvPage>>(
+                        match.shared)
+                        .subspan(static_cast<std::size_t>(d) * streams,
+                                 streams));
+            s.prefilled = match.pages * opt.page_tokens;
+            s.prefix_hit_tokens = s.prefilled;
+            for (const auto &page : match.shared)
+                s.prefix_bytes_saved += kvPageBytes(*page);
         }
-        s.layer.emplace(lc, v_scales);
-        s.k_stage = MatrixI8(opt.kv_heads, opt.head_dim);
-        s.v_stage = MatrixI8(opt.kv_heads, opt.head_dim);
-        s.q_stage = MatrixI8(opt.heads, opt.head_dim);
-        s.out = MatrixF(opt.heads, opt.head_dim);
         return;
     }
 
     if (s.prefilled < req.prompt_len) {
-        // Unit 2..k: one prefill chunk — append the chunk's K/V rows,
-        // then run guarded causal attention for each of its prompt
-        // positions (tile-by-tile over the ISTA order of the full
-        // prompt, so chunking never changes the numbers). Prefill is
-        // real scored work now, not just cache packing.
+        // Unit 2..k: one prefill chunk — feed the chunk's positions
+        // into the pipeline and drain it: appends and guarded causal
+        // scoring of up to `layers` positions overlap on the pool,
+        // bit-identical to the serial layer loop for any chunking
+        // (tile-by-tile over the ISTA order of the full prompt).
         const int n = std::min(opt.prefill_chunk,
                                req.prompt_len - s.prefilled);
-        for (int t = 0; t < n; t++) {
-            s.work->stageKv(s.prefilled + t, s.k_stage, s.v_stage);
-            s.layer->appendToken(s.k_stage, s.v_stage);
-        }
-        for (int t = 0; t < n; t++) {
-            const int pos = s.prefilled + t;
-            s.work->stageQueries(pos, s.q_stage);
-            s.layer->prefillPosition(s.q_stage, pos, req.prompt_len,
-                                     s.logit_scales, s.out, pool);
-            s.prefill_checksum = mixMatrix(s.prefill_checksum, s.out);
-        }
+        for (int t = 0; t < n; t++)
+            s.engine->feed(s.prefilled + t, req.prompt_len);
+        s.engine->drain(pool);
         s.prefilled += n;
+
+        // Once this session's own prefix pages are complete, publish
+        // them for later arrivals — unless the whole chain was
+        // adopted, in which case the index already has them.
+        if (index && !s.published && !s.chain.empty() &&
+            s.prefilled >= req.prefix_len) {
+            s.published = true;
+            if (s.chain_acquired <
+                static_cast<int>(s.chain.size())) {
+                std::vector<std::shared_ptr<const KvPage>> pages;
+                pages.reserve(s.chain.size() *
+                              static_cast<std::size_t>(opt.layers) *
+                              static_cast<std::size_t>(opt.kv_heads));
+                for (std::size_t d = 0; d < s.chain.size(); d++)
+                    s.engine->sharePrefixPages(static_cast<int>(d),
+                                               pages);
+                index->publish(s.chain, pages);
+            }
+        }
         return;
     }
 
-    // Decode one token: append its KV rows, run the grouped guarded
-    // attention step over every (shared) cache, then let the
-    // retention policy reclaim aged-out pages.
-    const int pos = req.prompt_len + s.decoded;
-    s.work->stageKv(pos, s.k_stage, s.v_stage);
-    s.layer->appendToken(s.k_stage, s.v_stage);
-    s.work->stageQueries(pos, s.q_stage);
-    s.layer->decode(s.q_stage, s.logit_scales, s.out, pool);
-    s.checksum = mixMatrix(s.checksum, s.out);
-    s.layer->evict();
+    // Decode one token through every layer: append its KV rows, run
+    // the grouped guarded attention step over every (shared) cache,
+    // then let the retention policy reclaim aged-out pages.
+    s.engine->feed(req.prompt_len + s.decoded, req.prompt_len);
+    s.engine->drain(pool);
     s.decoded++;
 }
 
@@ -221,6 +267,7 @@ ContinuousBatcher::ContinuousBatcher(BatcherOptions opt) : opt_(opt)
     // are PADE_CHECKs, not asserts, so Release servers fail loudly.
     PADE_CHECK_GT(opt_.max_active, 0);
     PADE_CHECK_GT(opt_.prefill_chunk, 0);
+    PADE_CHECK_GE(opt_.layers, 1);
     PADE_CHECK_GE(opt_.heads, 1);
     PADE_CHECK_GE(opt_.kv_heads, 1);
     PADE_CHECK_EQ(opt_.heads % opt_.kv_heads, 0);
@@ -239,6 +286,17 @@ ContinuousBatcher::run(std::span<const ServingRequest> trace) const
         PADE_CHECK_LE(trace[i].arrival_ms, trace[i + 1].arrival_ms);
 
     ThreadPool pool(opt_.threads);
+    // One prefix index per run, shared by every slot (internally
+    // mutex'd; see serving/prefix_index.h). Streams = layers x
+    // kv_heads pages per trie node, row-major by layer — the layout
+    // ModelEngine::sharePrefixPages emits.
+    std::optional<PrefixIndex> prefix_index;
+    if (opt_.prefix_cache) {
+        PrefixIndexOptions pio;
+        pio.streams = opt_.layers * opt_.kv_heads;
+        pio.max_bytes = opt_.prefix_cache_bytes;
+        prefix_index.emplace(pio);
+    }
     std::vector<std::unique_ptr<Session>> active;
     active.reserve(static_cast<std::size_t>(opt_.max_active));
     std::size_t next = 0;
@@ -296,10 +354,14 @@ ContinuousBatcher::run(std::span<const ServingRequest> trace) const
         RoundAccounting round;
         parallelFor(pool, static_cast<int>(active.size()), [&](int i) {
             stepSession(*active[static_cast<std::size_t>(i)], opt_,
-                        &pool, round);
+                        &pool, round,
+                        prefix_index ? &*prefix_index : nullptr);
         });
-        now_ms += std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - t0).count();
+        now_ms += opt_.fixed_round_ms >= 0.0
+                      ? opt_.fixed_round_ms
+                      : std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
         report.rounds++;
 
         // Post-round bookkeeping on the scheduler thread. The round's
@@ -330,12 +392,23 @@ ContinuousBatcher::run(std::span<const ServingRequest> trace) const
             st.finish_ms = now_ms;
             st.prompt_len = s.req->prompt_len;
             st.decode_steps = s.req->decode_steps;
+            st.prefix_len = s.req->prefix_len;
+            st.prefix_hit_tokens = s.prefix_hit_tokens;
             st.checksum = s.checksum;
             st.prefill_checksum = s.prefill_checksum;
+
+            // Drop the session's reader refs so its prefix nodes
+            // become evictable again (the pages themselves die with
+            // the last referencing cache).
+            if (prefix_index && s.chain_acquired > 0)
+                prefix_index->release(s.chain, s.chain_acquired);
 
             report.tokens_prefilled +=
                 static_cast<uint64_t>(s.prefilled);
             report.tokens_decoded += static_cast<uint64_t>(s.decoded);
+            report.tokens_prefix_hit +=
+                static_cast<uint64_t>(s.prefix_hit_tokens);
+            report.prefix_bytes_saved += s.prefix_bytes_saved;
             report.checksum ^= s.checksum;
             report.prefill_checksum ^= s.prefill_checksum;
             latency.push_back(st.finish_ms - st.arrival_ms);
@@ -349,6 +422,8 @@ ContinuousBatcher::run(std::span<const ServingRequest> trace) const
         }
     }
 
+    if (prefix_index)
+        report.prefix = prefix_index->stats();
     report.latency_ms = Percentiles::of(latency);
     report.ttft_ms = Percentiles::of(ttft);
     report.makespan_ms = now_ms;

@@ -13,14 +13,30 @@
  * static batching where a batch drains at the pace of its longest
  * member.
  *
- * Sessions are whole attention layers, not single heads: each owns a
- * `LayerEngine` — one `KvCache` per KV head shared by heads/kv_heads
- * grouped query heads (GQA) — so KV memory and append work scale with
- * kv_heads while compute scales with heads. Prefill *scores*: each
- * prefill round appends a chunk of prompt K/V and then runs guarded
- * causal attention for every prompt position of the chunk,
- * bit-identical to whole-prompt padeAttention (prefill outputs feed
+ * Sessions are whole *models*, not single layers: each owns a
+ * `ModelEngine` — `layers` LayerEngines, each one `KvCache` per KV
+ * head shared by heads/kv_heads grouped query heads (GQA) — and every
+ * prefill/decode unit drains the engine's software pipeline, so token
+ * t's layer-l work overlaps token t+1's layer-(l-1) work on the pool
+ * (serving/model_engine.h proves that schedule bit-identical to the
+ * serial layer loop). Prefill *scores*: each prefill round feeds a
+ * chunk of prompt positions through every layer, bit-identical to
+ * whole-prompt padeAttention (prefill outputs feed
  * `SessionStats::prefill_checksum`; decode outputs feed `checksum`).
+ *
+ * Cross-session prefix caching (`BatcherOptions::prefix_cache`): one
+ * PrefixIndex is shared by all slots of a run. At materialization a
+ * session looks its prompt's prefix page chain up and adopts every
+ * matched page read-only — skipping the packing *and* the scored
+ * prefill of those tokens; after its own prefix completes it
+ * publishes the pages for later arrivals. Because workload prefix
+ * rows are pure functions of the prefix stream and quantization
+ * scales are static (workload/generator.h, ModelWorkload), an
+ * adopted page is byte-identical to the page the session would have
+ * built — decode outputs, and therefore `checksum`, do not depend on
+ * whether a prefix hit occurred, and `prefill_checksum` mixes only
+ * positions >= the request's prefix_len so both checksums stay
+ * thread-count- and timing-invariant.
  *
  * Admission order: priority first (higher `ServingRequest::priority`
  * wins), arrival/trace order as the tie-break — deterministic for any
@@ -57,6 +73,7 @@
 #include "arch/run_metrics.h"
 #include "core/pade_attention.h"
 #include "serving/decode_engine.h"
+#include "serving/prefix_index.h"
 #include "workload/generator.h"
 
 namespace pade {
@@ -67,11 +84,29 @@ struct BatcherOptions
     int threads = 0;       //!< pool workers; 0 = hardware threads
     int max_active = 4;    //!< concurrent sessions (slots)
     int prefill_chunk = 64; //!< prompt tokens appended+scored per round
-    int heads = 1;         //!< query heads per session layer
+    int layers = 1;        //!< transformer layers per session
+    int heads = 1;         //!< query heads per layer
     int kv_heads = 1;      //!< shared K/V streams (< heads => GQA)
     int head_dim = 64;     //!< per-head geometry
     int bits = 8;
     int page_tokens = 256; //!< KvCache page capacity
+    /** false = serial layer-by-layer schedule (the reference the
+     *  pipelined engine is differentially tested against). */
+    bool pipeline = true;
+    /** Share full prefix KV pages across sessions via a PrefixIndex. */
+    bool prefix_cache = false;
+    /** Shared-page byte budget of the index; 0 = unbounded. */
+    std::size_t prefix_cache_bytes = 0;
+    /** Virtual milliseconds each scheduling round advances the
+     *  admission clock. Negative (the default) uses the round's real
+     *  host wall time, so latency percentiles reflect machine speed —
+     *  but then WHICH sessions are co-resident depends on timing, and
+     *  co-residency-derived results (peak_cache_bytes, peak_active,
+     *  prefix-publish order) are not reproducible across runs or
+     *  thread counts. Tests asserting schedule invariants set a fixed
+     *  value to make the admission schedule a pure function of the
+     *  trace. */
+    double fixed_round_ms = -1.0;
     double concentration = 1.0; //!< workload-generator knobs
     double locality = 0.5;
     PadeConfig pade;       //!< decode algorithm configuration
@@ -91,8 +126,14 @@ struct SessionStats
     double finish_ms = 0.0;      //!< last token done, session evicted
     int prompt_len = 0;
     int decode_steps = 0;
+    int prefix_len = 0;        //!< shared-prefix tokens of the request
+    /** Prompt tokens adopted from the prefix cache (0 on miss or when
+     *  caching is off) — timing-dependent, unlike the checksums. */
+    int prefix_hit_tokens = 0;
     uint64_t checksum = 0;         //!< mixed bits of decoded outputs
-    uint64_t prefill_checksum = 0; //!< mixed bits of prefill outputs
+    /** Mixed bits of prefill outputs at positions >= prefix_len
+     *  (prefix positions are excluded so hits and misses agree). */
+    uint64_t prefill_checksum = 0;
 };
 
 /** Aggregate of one serving run. */
@@ -109,6 +150,13 @@ struct ServingReport
     int rounds = 0;
     int peak_active = 0;           //!< most simultaneous sessions
     std::size_t peak_cache_bytes = 0; //!< max resident KV bytes
+    /** Prompt tokens served from the prefix cache instead of being
+     *  packed and scored (subset of tokens_prefilled). */
+    uint64_t tokens_prefix_hit = 0;
+    /** KV bytes adopters did not have to materialize privately. */
+    std::size_t prefix_bytes_saved = 0;
+    /** Prefix-index counters at run end (zeros when caching is off). */
+    PrefixIndexStats prefix;
     /** XOR of session decode checksums: thread-count invariant. */
     uint64_t checksum = 0;
     /** XOR of session prefill checksums: thread-count invariant. */

@@ -110,7 +110,6 @@ DecodeEngine::runGroup(const KvCache &cache, int qpos, int order_len,
 
     DecodeStep res;
     const uint64_t planes_before = stats_.planes_processed;
-    const int first_live = cache.firstLiveToken();
     const bool windowed = retention_.enabled();
     // The retention window is relative to the stream AS THE QUERY
     // SEES IT — tokens 0..qpos — not to the append frontier. During
@@ -128,10 +127,10 @@ DecodeEngine::runGroup(const KvCache &cache, int qpos, int order_len,
     for (int j : order_) {
         if (j > qpos)
             continue; // causal / not yet prefilled
-        if (j < first_live)
-            continue; // evicted pages
         if (windowed && !retention_.keeps(j, stream_len))
             continue; // outside the sink+recency window
+        if (!cache.pageLive(cache.pageOf(j)))
+            continue; // front-dropped or middle-reclaimed pages
         const int page = cache.pageOf(j);
         const int local = cache.rowOf(j);
         const BitPlaneSet &kp = cache.pagePlanes(page);

@@ -180,14 +180,25 @@ class DecodeEngine
 
     /**
      * Reclaim cache pages the retention policy has aged out (no-op
-     * when the policy is disabled or sinks pin the stream head).
+     * when the policy is disabled). Sink-free windows free from the
+     * stream front; sink-pinned streams free the dead *middle* —
+     * whole pages lying strictly between the pinned sink tokens and
+     * the recency horizon — via KvCache::dropPagesIn, so retention
+     * actually returns memory even when page 0 must stay resident.
      */
     void
     applyRetention(KvCache &cache) const
     {
-        if (retention_.enabled())
-            cache.dropPagesBefore(
-                retention_.evictableBefore(cache.size()));
+        if (!retention_.enabled())
+            return;
+        const int size = cache.size();
+        cache.dropPagesBefore(retention_.evictableBefore(size));
+        // Dead middle exists only once the recency horizon has moved
+        // past the pinned sinks (early in a stream it hasn't).
+        if (retention_.sink_tokens > 0 &&
+            retention_.horizon(size) > retention_.sink_tokens)
+            cache.dropPagesIn(retention_.sink_tokens,
+                              retention_.horizon(size));
     }
 
     /** Pruning statistics accumulated across all steps (group sums). */

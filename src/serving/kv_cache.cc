@@ -1,12 +1,26 @@
 #include "serving/kv_cache.h"
 
+#include <algorithm>
+
 namespace pade {
 
-KvCache::Page::Page(const KvCacheConfig &cfg)
-    : planes(cfg.head_dim, cfg.bits, cfg.page_tokens),
-      values(cfg.page_tokens, cfg.head_dim)
+KvPage::KvPage(const KvCacheConfig &config)
+    : cfg(config), planes(config.head_dim, config.bits,
+                          config.page_tokens),
+      values(config.page_tokens, config.head_dim)
 {
-    work.reserve(static_cast<std::size_t>(cfg.page_tokens) * cfg.bits);
+    work.reserve(static_cast<std::size_t>(config.page_tokens) *
+                 config.bits);
+}
+
+std::size_t
+kvPageBytes(const KvPage &page)
+{
+    return static_cast<std::size_t>(page.cfg.page_tokens) *
+        (static_cast<std::size_t>(page.planes.numPlanes()) *
+             page.planes.planeStride() * sizeof(uint64_t) +
+         static_cast<std::size_t>(page.cfg.head_dim) * sizeof(float) +
+         static_cast<std::size_t>(page.cfg.bits) * sizeof(PlaneWork));
 }
 
 KvCache::KvCache(const KvCacheConfig &cfg) : cfg_(cfg)
@@ -24,12 +38,16 @@ KvCache::appendToken(std::span<const int8_t> k_row,
     PADE_CHECK_EQ(static_cast<int>(k_row.size()), cfg_.head_dim);
     PADE_CHECK_EQ(static_cast<int>(v_row.size()), cfg_.head_dim);
 
-    if (pages_.empty() ||
-        pages_.back().planes.numRows() == cfg_.page_tokens)
-        pages_.emplace_back(cfg_);
-    Page &page = pages_.back();
+    // The mutable tail is the only writable page. It goes away when
+    // it fills (full pages are immutable — the sharing contract), when
+    // a shared page was adopted, or when eviction popped it.
+    if (!tail_ || tail_->full()) {
+        tail_ = std::make_shared<KvPage>(cfg_);
+        pages_.push_back(tail_);
+    }
+    KvPage &page = *tail_;
 
-    const int row = page.planes.numRows();
+    const int row = page.used();
     page.planes.appendToken(k_row);
 
     // The exact float expression padeAttention's value stage sees
@@ -48,6 +66,43 @@ KvCache::appendToken(std::span<const int8_t> k_row,
 }
 
 void
+KvCache::adoptSharedPage(std::shared_ptr<const KvPage> page)
+{
+    PADE_CHECK(page != nullptr);
+    // Adoption is only legal at a page boundary (no partial private
+    // tail to splice around) and for a bit-compatible page: the
+    // packed planes, dequantized values, and PlaneWork entries were
+    // all derived under the producer's config, so every field must
+    // match for the alias to be numerically transparent.
+    PADE_CHECK_EQ(tokens_ % cfg_.page_tokens, 0);
+    PADE_CHECK(page->full());
+    PADE_CHECK_EQ(page->cfg.head_dim, cfg_.head_dim);
+    PADE_CHECK_EQ(page->cfg.bits, cfg_.bits);
+    PADE_CHECK_EQ(page->cfg.page_tokens, cfg_.page_tokens);
+    PADE_CHECK_EQ(page->cfg.subgroup, cfg_.subgroup);
+    PADE_CHECK_EQ(page->cfg.muxes, cfg_.muxes);
+    PADE_CHECK(page->cfg.v_scale == cfg_.v_scale);
+
+    pages_.push_back(std::move(page));
+    tail_.reset(); // the back page is shared: never writable
+    tokens_ += cfg_.page_tokens;
+}
+
+std::shared_ptr<const KvPage>
+KvCache::sharePage(int page) const
+{
+    PADE_CHECK_GE(page, first_live_page_);
+    PADE_CHECK_LT(page, numPages());
+    const auto &slot =
+        pages_[static_cast<std::size_t>(page - first_live_page_)];
+    PADE_CHECK(slot != nullptr);
+    // Only full pages are immutable; sharing the mutable tail would
+    // let a later append mutate another cache's (or the index's) view.
+    PADE_CHECK(slot->full());
+    return slot;
+}
+
+void
 KvCache::dropPagesBefore(int token)
 {
     PADE_CHECK_GE(token, 0);
@@ -56,29 +111,51 @@ KvCache::dropPagesBefore(int token)
     // with a row >= token, so everything strictly below it is dead.
     const int target = std::min(token, tokens_) / cfg_.page_tokens;
     while (first_live_page_ < target && !pages_.empty()) {
+        if (pages_.front().get() == tail_.get())
+            tail_.reset(); // evicting the append frontier itself
         pages_.pop_front();
         first_live_page_++;
     }
 }
 
+void
+KvCache::dropPagesIn(int first_token, int last_token)
+{
+    PADE_CHECK_GE(first_token, 0);
+    PADE_CHECK_GE(last_token, first_token);
+    // A page dies only when EVERY one of its tokens lies inside
+    // [first_token, last_token). The final slot — the append frontier
+    // — always survives so appendToken never resurrects a reclaimed
+    // slot; front pages are dropPagesBefore's territory but are
+    // accepted here too (the slot nulls in place, indices hold).
+    const int last = std::min(last_token, tokens_);
+    const int first_page =
+        (first_token + cfg_.page_tokens - 1) / cfg_.page_tokens;
+    const int end_page = last / cfg_.page_tokens; // exclusive
+    const int lo = std::max(first_page, first_live_page_);
+    const int hi = std::min(end_page, numPages() - 1);
+    for (int p = lo; p < hi; p++)
+        pages_[static_cast<std::size_t>(p - first_live_page_)]
+            .reset();
+}
+
+int
+KvCache::livePages() const
+{
+    int live = 0;
+    for (const auto &slot : pages_)
+        live += slot != nullptr;
+    return live;
+}
+
 std::size_t
 KvCache::bytesUsed() const
 {
-    if (pages_.empty())
-        return 0;
-    // Pages allocate/reserve their full fixed capacity at creation
-    // (values eagerly, planes and work via reserve), so resident
-    // memory is a per-page constant. Read the plane geometry off a
-    // live page rather than re-deriving BitPlaneSet's layout — the
-    // stride is that class's implementation detail.
-    const BitPlaneSet &planes = pages_.front().planes;
-    const std::size_t per_page =
-        static_cast<std::size_t>(cfg_.page_tokens) *
-        (static_cast<std::size_t>(planes.numPlanes()) *
-             planes.planeStride() * sizeof(uint64_t) +
-         static_cast<std::size_t>(cfg_.head_dim) * sizeof(float) +
-         static_cast<std::size_t>(cfg_.bits) * sizeof(PlaneWork));
-    return pages_.size() * per_page;
+    std::size_t bytes = 0;
+    for (const auto &slot : pages_)
+        if (slot)
+            bytes += kvPageBytes(*slot);
+    return bytes;
 }
 
 } // namespace pade

@@ -1,6 +1,7 @@
 /**
  * @file
- * Append-only bit-plane KV cache for incremental decoding.
+ * Append-only bit-plane KV cache for incremental decoding, with
+ * ref-counted page sharing and optional-page middle reclamation.
  *
  * Autoregressive serving appends exactly one (key, value) row per
  * decode step, but the seed code re-quantized and re-packed the entire
@@ -22,16 +23,46 @@
  * Pages are fixed at `page_tokens` rows and reserved up front
  * (`AlignedAllocator` storage), so an append never moves previously
  * stored planes: spans handed out by the accessors stay valid across
- * appendToken() calls. Pages live in a deque for stable addresses.
+ * appendToken() calls.
+ *
+ * Page sharing (cross-session prefix caching): pages are held through
+ * `std::shared_ptr<KvPage>`, so a FULL page can be mapped read-only
+ * into several caches at once — `sharePage()` hands out a reference,
+ * `adoptSharedPage()` splices one in at the append frontier. Full
+ * pages are immutable by construction (appendToken only ever writes
+ * the partial tail page, and a full page can never become the tail
+ * again), which is what makes the aliasing safe: no copy-on-write
+ * machinery is needed because a shared page is never written. A
+ * prompt prefix that ends mid-page diverges by *copying*: the adopter
+ * re-appends the partial page's tokens privately — that private tail
+ * is the copy-on-write fork point. Shared pages carry their cached
+ * PlaneWork table with them, so the scoring-side work of a hot prefix
+ * is computed once for every reader. The last owner (cache or
+ * PrefixIndex entry) to let go frees the page — refcounts are the
+ * shared_ptr's, so a page can never be freed under a live reader.
+ *
+ * Page liveness (middle reclamation): the deque stores *optional*
+ * slots — a null slot is a page reclaimed from the middle of the
+ * stream. `dropPagesBefore()` frees whole pages from the front (the
+ * sliding-window primitive); `dropPagesIn()` frees fully-dead pages
+ * anywhere behind the append frontier, which is what lets
+ * StreamingLLM sink-pinned streams return the dead middle between the
+ * pinned sinks and the recency window (previously those pages stayed
+ * resident forever). Token indices are stable across both: eviction
+ * frees storage but never renumbers. `pageLive()` is the scan-side
+ * query; handing out a span from a dead slot is a PADE_CHECK abort in
+ * every build type.
  *
  * Thread safety: external. One cache belongs to one KV-head stream:
- * appendToken()/dropPagesBefore() mutate and must be serialized by
- * the owner, while the const accessors are safe to share across
- * concurrent readers *between* mutations — the GQA decode path leans
- * on exactly that (every query head of a group scans the one shared
- * cache; LayerEngine serializes appends against decode rounds). There
- * is deliberately no internal mutex: a lock per page access would sit
- * on the per-token hot path.
+ * appendToken()/dropPagesBefore()/dropPagesIn()/adoptSharedPage()
+ * mutate and must be serialized by the owner, while the const
+ * accessors are safe to share across concurrent readers *between*
+ * mutations — the GQA decode path leans on exactly that (every query
+ * head of a group scans the one shared cache; LayerEngine serializes
+ * appends against decode rounds). Readers of a *shared* page in other
+ * caches are likewise safe: the page is full, hence never mutated.
+ * There is deliberately no internal mutex: a lock per page access
+ * would sit on the per-token hot path.
  *
  * Invariant checking: page liveness and append-shape violations are
  * PADE_CHECKs (armed in Release — a span handed out for a dropped
@@ -45,6 +76,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -73,6 +105,35 @@ struct KvCacheConfig
 };
 
 /**
+ * One fixed-capacity KV page: packed key planes, dequantized value
+ * rows, and the per-(row, plane) PlaneWork table. Pages record the
+ * geometry they were built with so adoption into another cache can
+ * verify compatibility — sharing a page whose quantization scale or
+ * GSAT geometry differs would be a silent numerical divergence, so
+ * `adoptSharedPage` PADE_CHECKs every field.
+ */
+struct KvPage
+{
+    explicit KvPage(const KvCacheConfig &cfg);
+
+    KvCacheConfig cfg;           //!< geometry fingerprint at creation
+    BitPlaneSet planes;          //!< keys, page-local rows
+    MatrixF values;              //!< dequantized V rows
+    std::vector<PlaneWork> work; //!< used * bits entries
+
+    /** Rows appended so far; full() pages are immutable. */
+    int used() const { return planes.numRows(); }
+    bool full() const { return used() == cfg.page_tokens; }
+};
+
+/**
+ * Resident bytes of one page (planes + values + work table). Pages
+ * allocate/reserve their full fixed capacity up front, so this is a
+ * per-geometry constant, independent of used().
+ */
+std::size_t kvPageBytes(const KvPage &page);
+
+/**
  * Append-only paged KV store for one attention head's decode stream.
  */
 class KvCache
@@ -90,14 +151,15 @@ class KvCache
     {
         return first_live_page_ + static_cast<int>(pages_.size());
     }
-    /** Pages still resident (numPages() minus dropped pages). */
-    int livePages() const { return static_cast<int>(pages_.size()); }
+    /** Pages still resident (dropped and reclaimed slots excluded). */
+    int livePages() const;
 
     /**
-     * First token whose page is still resident. Token indices are
-     * stable across eviction — dropPagesBefore() frees storage but
-     * never renumbers — so consumers skip tokens below this bound
-     * instead of re-indexing.
+     * First token whose page slot still exists (reclaimed middle
+     * slots may sit above it — pageLive() is the per-page truth).
+     * Token indices are stable across eviction — dropPagesBefore()
+     * frees storage but never renumbers — so consumers skip tokens
+     * below this bound instead of re-indexing.
      */
     int firstLiveToken() const
     {
@@ -112,6 +174,26 @@ class KvCache
      * StreamingLLM retention (see RetentionPolicy in decode_engine.h).
      */
     void dropPagesBefore(int token);
+
+    /**
+     * Free every page lying wholly inside [@p first_token,
+     * @p last_token) — the middle-reclamation primitive. The slot
+     * stays in the deque (null) so later pages keep their indices;
+     * the append-frontier tail page always survives. Composes with
+     * sink-pinned retention: pages between the pinned sinks and the
+     * recency window become reclaimable instead of resident-forever.
+     */
+    void dropPagesIn(int first_token, int last_token);
+
+    /** True when @p page has not been dropped or reclaimed. */
+    bool
+    pageLive(int page) const
+    {
+        if (page < first_live_page_ || page >= numPages())
+            return false;
+        return pages_[static_cast<std::size_t>(
+                   page - first_live_page_)] != nullptr;
+    }
 
     /** Page holding token @p token. */
     int
@@ -136,6 +218,26 @@ class KvCache
     void appendToken(std::span<const int8_t> k_row,
                      std::span<const int8_t> v_row);
 
+    /**
+     * Splice a FULL shared page in at the append frontier (prefix
+     * adoption). Only legal at a page boundary — the cache must hold
+     * no partial tail — and only for a page whose geometry and
+     * quantization scale match this cache exactly (PADE_CHECKed; a
+     * mismatched adoption would silently corrupt decode outputs).
+     * The page is aliased, not copied: readers of this cache and of
+     * every other adopter observe the producer's packed planes,
+     * dequantized values, and cached PlaneWork.
+     */
+    void adoptSharedPage(std::shared_ptr<const KvPage> page);
+
+    /**
+     * Hand out a reference to FULL page @p page for sharing (prefix
+     * publication). Full pages are immutable, so the alias is safe
+     * for the page's lifetime; the shared_ptr keeps it alive past
+     * this cache's own eviction.
+     */
+    std::shared_ptr<const KvPage> sharePage(int page) const;
+
     /** Packed key planes of page @p page (page-local row indices). */
     const BitPlaneSet &
     pagePlanes(int page) const
@@ -155,7 +257,7 @@ class KvCache
     work(int token, int plane) const
     {
         PADE_DCHECK(plane >= 0 && plane < cfg_.bits);
-        const Page &p = livePage(pageOf(token));
+        const KvPage &p = livePage(pageOf(token));
         return p.work[static_cast<std::size_t>(rowOf(token)) *
                           cfg_.bits +
                       plane];
@@ -174,46 +276,49 @@ class KvCache
     }
 
     /**
-     * Resident bytes across all pages (planes + values + work
+     * Resident bytes across live pages (planes + values + work
      * table). Pages allocate their full fixed capacity up front, so
-     * this steps by one page worth of bytes per page_tokens appends.
+     * this steps by kvPageBytes() per live page. Shared pages are
+     * counted by every cache referencing them — system-wide savings
+     * from sharing are reported by the prefix-cache layer, which
+     * knows the adoption count.
      */
     std::size_t bytesUsed() const;
 
   private:
-    struct Page
-    {
-        explicit Page(const KvCacheConfig &cfg);
-
-        BitPlaneSet planes;          //!< keys, page-local rows
-        MatrixF values;              //!< dequantized V rows
-        std::vector<PlaneWork> work; //!< used * bits entries
-    };
-
     /**
-     * Page @p page, which must not have been dropped. Liveness is a
-     * PADE_CHECK, armed in every build type: serving a span from a
-     * dropped page is a read of freed memory, and retention-policy
-     * bugs must abort a Release server at the boundary rather than
-     * corrupt its outputs.
+     * Page @p page, which must not have been dropped or reclaimed.
+     * Liveness is a PADE_CHECK, armed in every build type: serving a
+     * span from a dead page is a read of freed memory, and
+     * retention-policy bugs must abort a Release server at the
+     * boundary rather than corrupt its outputs.
      */
-    const Page &
+    const KvPage &
     livePage(int page) const
     {
         PADE_CHECK_GE(page, first_live_page_);
         PADE_CHECK_LT(page, numPages());
-        return pages_[static_cast<std::size_t>(page -
-                                               first_live_page_)];
+        const auto &slot = pages_[static_cast<std::size_t>(
+            page - first_live_page_)];
+        PADE_CHECK(slot != nullptr);
+        return *slot;
     }
 
     KvCacheConfig cfg_;
     /**
-     * Resident pages, front-dropped by eviction: deque slot i holds
-     * logical page first_live_page_ + i. Deque: page addresses are
-     * stable across appends, and pop_front leaves the survivors'
-     * addresses untouched.
+     * Resident page slots, front-dropped by dropPagesBefore and
+     * middle-nulled by dropPagesIn: deque slot i holds logical page
+     * first_live_page_ + i, or nullptr when that page was reclaimed.
+     * Deque: slot addresses are stable across appends, and pop_front
+     * leaves the survivors' addresses untouched. shared_ptr: pages
+     * adopted by other caches (or pinned by the PrefixIndex) survive
+     * this cache's eviction.
      */
-    std::deque<Page> pages_;
+    std::deque<std::shared_ptr<const KvPage>> pages_;
+    /** The append frontier; null iff pages_ is empty. Owned mutably
+     *  by this cache alone — it aliases pages_.back() until that
+     *  page fills, and a full page is never written again. */
+    std::shared_ptr<KvPage> tail_;
     int first_live_page_ = 0;
     int tokens_ = 0;
 };

@@ -42,6 +42,26 @@ LayerEngine::appendToken(const MatrixI8 &k, const MatrixI8 &v)
     tokens_++;
 }
 
+void
+LayerEngine::adoptSharedPages(
+    std::span<const std::shared_ptr<const KvPage>> pages)
+{
+    PADE_CHECK_EQ(static_cast<int>(pages.size()), cfg_.kv_heads);
+    for (int kv = 0; kv < cfg_.kv_heads; kv++)
+        caches_[static_cast<std::size_t>(kv)].adoptSharedPage(
+            pages[static_cast<std::size_t>(kv)]);
+    tokens_ += cfg_.page_tokens;
+}
+
+void
+LayerEngine::sharePages(
+    int page, std::vector<std::shared_ptr<const KvPage>> &out) const
+{
+    for (int kv = 0; kv < cfg_.kv_heads; kv++)
+        out.push_back(
+            caches_[static_cast<std::size_t>(kv)].sharePage(page));
+}
+
 LayerStep
 LayerEngine::runHeads(const MatrixI8 &q,
                       std::span<const float> logit_scales,

@@ -46,6 +46,7 @@
 #define PADE_SERVING_LAYER_ENGINE_H
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -105,6 +106,24 @@ class LayerEngine
      * kv's key/value row (kv_heads x head_dim int8 matrices).
      */
     void appendToken(const MatrixI8 &k, const MatrixI8 &v);
+
+    /**
+     * Splice one FULL shared page per KV head in at the append
+     * frontier (prefix adoption; entry kv of @p pages goes to KV head
+     * kv's cache). Advances the token count by one page worth. Legal
+     * only at a page boundary — see KvCache::adoptSharedPage for the
+     * compatibility contract.
+     */
+    void adoptSharedPages(
+        std::span<const std::shared_ptr<const KvPage>> pages);
+
+    /**
+     * Append every KV head's reference for FULL page @p page to
+     * @p out (prefix publication; kv_heads entries, ascending).
+     */
+    void
+    sharePages(int page,
+               std::vector<std::shared_ptr<const KvPage>> &out) const;
 
     /**
      * Decode one token for every query head: row h of @p q is head

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <initializer_list>
 
 #include "attention/reference.h"
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace pade {
@@ -175,6 +177,207 @@ generateLayerWorkload(const LayerSpec &spec)
     return layer;
 }
 
+namespace {
+
+/** Mix an ordered tuple into one 64-bit seed (order-sensitive). */
+uint64_t
+mixSeed(std::initializer_list<uint64_t> words)
+{
+    uint64_t state = 0x5eedc0defacade5fULL;
+    uint64_t h = 0;
+    for (uint64_t w : words) {
+        state = h ^ (w + 0x9e3779b97f4a7c15ULL);
+        h = splitMix64(state);
+    }
+    return h;
+}
+
+/** Clamp-quantize one float to a signed @p qmax grid. */
+std::int8_t
+quantTo(double value, float scale, int qmax)
+{
+    const double q = std::nearbyint(value / static_cast<double>(scale));
+    return static_cast<std::int8_t>(
+        std::clamp(q, static_cast<double>(-qmax),
+                   static_cast<double>(qmax)));
+}
+
+// Row-kind tags keeping the K / V / Q streams of one (layer, lane,
+// pos) independent.
+constexpr uint64_t kTagKey = 0x4b;
+constexpr uint64_t kTagValue = 0x56;
+constexpr uint64_t kTagQuery = 0x51;
+
+} // namespace
+
+ModelWorkload::ModelWorkload(const ModelSpec &spec) : spec_(spec)
+{
+    // Boundary contract, armed in Release too: a malformed spec here
+    // (e.g. a positional ServingRequest initializer gone stale) would
+    // otherwise silently generate a nonsense workload.
+    PADE_CHECK(spec_.layers >= 1);
+    PADE_CHECK(spec_.heads >= 1 && spec_.kv_heads >= 1);
+    PADE_CHECK(spec_.heads % spec_.kv_heads == 0);
+    PADE_CHECK(spec_.prefix_len >= 0 &&
+               spec_.prefix_len <= spec_.prompt_len);
+
+    // Static per-model scales: pure functions of geometry, shared by
+    // every session of the model (see class comment — dynamic scales
+    // would break prefix page identity).
+    const int qmax = (1 << (spec_.bits - 1)) - 1;
+    k_scale_ = 12.0f / static_cast<float>(qmax);
+    q_scale_ = 12.0f / static_cast<float>(qmax);
+    v_scale_ = 4.0f / 127.0f;
+    logit_scale_ = q_scale_ * k_scale_ /
+        std::sqrt(static_cast<float>(spec_.head_dim));
+
+    // Same importance-tail shaping as generateHead(), minus the
+    // length boost (a function of total sequence length would leak
+    // the session's suffix into prefix rows).
+    amp_ = 6.0 + 5.4 * spec_.concentration;
+    tau_ = 2.0 + 1.6 * spec_.concentration;
+
+    // Context directions are seeded by geometry alone so prefix and
+    // suffix rows of every session align with the same direction —
+    // queries stay predictive across the prefix/suffix boundary.
+    dirs_.reserve(static_cast<std::size_t>(spec_.layers));
+    for (int l = 0; l < spec_.layers; l++) {
+        MatrixF u(spec_.kv_heads, spec_.head_dim);
+        for (int kv = 0; kv < spec_.kv_heads; kv++) {
+            Rng rng(mixSeed({0xd12ec710, static_cast<uint64_t>(l),
+                             static_cast<uint64_t>(kv)}));
+            double norm = 0.0;
+            for (float &x : u.row(kv)) {
+                x = static_cast<float>(rng.gaussian());
+                norm += static_cast<double>(x) * x;
+            }
+            norm = std::sqrt(std::max(norm, 1e-12));
+            for (float &x : u.row(kv))
+                x = static_cast<float>(x / norm);
+        }
+        dirs_.push_back(std::move(u));
+    }
+}
+
+uint64_t
+ModelWorkload::streamOf(int pos) const
+{
+    return pos < spec_.prefix_len ? spec_.prefix_seed : spec_.seed;
+}
+
+void
+ModelWorkload::keyRow(int layer, int kv, int pos,
+                      std::span<std::int8_t> out) const
+{
+    Rng rng(mixSeed({streamOf(pos), kTagKey,
+                     static_cast<uint64_t>(layer),
+                     static_cast<uint64_t>(kv),
+                     static_cast<uint64_t>(pos)}));
+    double c = amp_ * std::pow(rng.uniform(), tau_);
+    if (pos == 0)
+        c += 0.8 * amp_ * spec_.locality; // attention sink
+    const int qmax = (1 << (spec_.bits - 1)) - 1;
+    const auto u = dirs_[static_cast<std::size_t>(layer)].row(kv);
+    for (int d = 0; d < spec_.head_dim; d++)
+        out[static_cast<std::size_t>(d)] = quantTo(
+            c * u[static_cast<std::size_t>(d)] + rng.gaussian(),
+            k_scale_, qmax);
+}
+
+void
+ModelWorkload::valueRow(int layer, int kv, int pos,
+                        std::span<std::int8_t> out) const
+{
+    Rng rng(mixSeed({streamOf(pos), kTagValue,
+                     static_cast<uint64_t>(layer),
+                     static_cast<uint64_t>(kv),
+                     static_cast<uint64_t>(pos)}));
+    for (int d = 0; d < spec_.head_dim; d++)
+        out[static_cast<std::size_t>(d)] =
+            quantTo(rng.gaussian(), v_scale_, 127);
+}
+
+void
+ModelWorkload::queryRow(int layer, int head, int pos,
+                        std::span<std::int8_t> out) const
+{
+    Rng rng(mixSeed({streamOf(pos), kTagQuery,
+                     static_cast<uint64_t>(layer),
+                     static_cast<uint64_t>(head),
+                     static_cast<uint64_t>(pos)}));
+    const double align = std::sqrt(static_cast<double>(spec_.head_dim));
+    const double c = rng.gaussian(align, 0.15 * align);
+    const int qmax = (1 << (spec_.bits - 1)) - 1;
+    const auto u = dirs_[static_cast<std::size_t>(layer)].row(
+        head / spec_.groupSize());
+    for (int d = 0; d < spec_.head_dim; d++)
+        out[static_cast<std::size_t>(d)] = quantTo(
+            c * u[static_cast<std::size_t>(d)] + rng.gaussian(),
+            q_scale_, qmax);
+}
+
+void
+ModelWorkload::stageKv(int layer, int pos, MatrixI8 &k,
+                       MatrixI8 &v) const
+{
+    assert(k.rows() == spec_.kv_heads && v.rows() == spec_.kv_heads);
+    for (int kv = 0; kv < spec_.kv_heads; kv++) {
+        keyRow(layer, kv, pos, k.row(kv));
+        valueRow(layer, kv, pos, v.row(kv));
+    }
+}
+
+void
+ModelWorkload::stageQueries(int layer, int pos, MatrixI8 &q) const
+{
+    assert(q.rows() == spec_.heads);
+    for (int h = 0; h < spec_.heads; h++)
+        queryRow(layer, h, pos, q.row(h));
+}
+
+std::vector<uint64_t>
+ModelWorkload::prefixPageChain(int page_tokens) const
+{
+    assert(page_tokens >= 1);
+    const int pages = spec_.prefix_len / page_tokens;
+    std::vector<uint64_t> chain;
+    if (pages == 0)
+        return chain;
+    chain.reserve(static_cast<std::size_t>(pages));
+
+    // Root: the geometry fingerprint. Two models whose pages could
+    // never be adopted into each other (different shapes, widths, or
+    // page sizes) must diverge at depth 0.
+    uint64_t h = mixSeed({static_cast<uint64_t>(spec_.layers),
+                          static_cast<uint64_t>(spec_.kv_heads),
+                          static_cast<uint64_t>(spec_.head_dim),
+                          static_cast<uint64_t>(spec_.bits),
+                          static_cast<uint64_t>(page_tokens)});
+    std::vector<std::int8_t> row(
+        static_cast<std::size_t>(spec_.head_dim));
+    const auto mixRow = [&] {
+        for (std::int8_t b : row) {
+            uint64_t state = h + static_cast<std::uint8_t>(b);
+            h = splitMix64(state);
+        }
+    };
+    for (int p = 0; p < pages; p++) {
+        for (int pos = p * page_tokens; pos < (p + 1) * page_tokens;
+             pos++) {
+            for (int l = 0; l < spec_.layers; l++) {
+                for (int kv = 0; kv < spec_.kv_heads; kv++) {
+                    keyRow(l, kv, pos, row);
+                    mixRow();
+                    valueRow(l, kv, pos, row);
+                    mixRow();
+                }
+            }
+        }
+        chain.push_back(h);
+    }
+    return chain;
+}
+
 std::vector<ServingRequest>
 poissonArrivalTrace(const TraceSpec &spec)
 {
@@ -182,6 +385,8 @@ poissonArrivalTrace(const TraceSpec &spec)
     assert(spec.prompt_min >= 1 && spec.prompt_max >= spec.prompt_min);
     assert(spec.decode_min >= 1 && spec.decode_max >= spec.decode_min);
     assert(spec.priority_levels >= 1);
+    assert(spec.prefix_groups >= 0);
+    assert(spec.prefix_groups == 0 || spec.prefix_tokens >= 1);
 
     Rng rng(spec.seed);
     std::vector<ServingRequest> trace;
@@ -209,6 +414,22 @@ poissonArrivalTrace(const TraceSpec &spec)
         if (spec.priority_levels > 1)
             req.priority = static_cast<int>(
                 rng.range(0, spec.priority_levels - 1));
+        // Shared prefix: prepend prefix_tokens tokens of one of
+        // prefix_groups shared identities to the private suffix drawn
+        // above. Guarded so prefix-free specs draw nothing and keep
+        // the historical RNG stream.
+        if (spec.prefix_groups > 0) {
+            const auto group = static_cast<uint64_t>(
+                rng.range(0, spec.prefix_groups - 1));
+            req.prefix_len = spec.prefix_tokens;
+            req.prompt_len += spec.prefix_tokens;
+            // Group identity from (trace seed, group) only, so two
+            // requests of one group — or of two traces with equal
+            // seeds — share the exact prefix stream.
+            uint64_t gstate = spec.seed ^
+                (0x70726566697865ULL + group * 0x9e3779b97f4a7c15ULL);
+            req.prefix_seed = splitMix64(gstate);
+        }
         // Per-request workload seed: derived from (trace seed, index)
         // only, so traces re-generate identically.
         uint64_t state = spec.seed +

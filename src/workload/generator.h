@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -170,6 +171,114 @@ LayerWorkload generateLayerWorkload(const LayerSpec &spec);
 double oracleSparsity(const AttentionHead &head, double mass_epsilon);
 
 /**
+ * Specification of one whole-model serving workload: `layers`
+ * transformer layers, each with LayerSpec-style GQA geometry, plus an
+ * optional *shared prompt prefix*. Positions [0, prefix_len) draw
+ * every K/V/Q row from `prefix_seed`; positions beyond draw from
+ * `seed` — so two sessions with equal (geometry, prefix_seed,
+ * prefix_len) produce byte-identical prefix rows no matter what their
+ * suffixes or decode tails are. That per-position stream split is
+ * what makes cross-session prefix caching *bit-exact*: a KV page of
+ * prefix tokens built by one session is the page every other session
+ * would have built.
+ */
+struct ModelSpec
+{
+    int layers = 1;
+    int heads = 1;
+    int kv_heads = 1; //!< must divide heads
+    int head_dim = 64;
+    int prompt_len = 0;   //!< prompt positions (prefilled + scored)
+    int decode_steps = 0; //!< decode positions
+    int bits = 8;         //!< K/Q quantization bit-width
+    /** Leading prompt tokens drawn from the prefix stream; must be
+     *  <= prompt_len. 0 = no shared prefix. */
+    int prefix_len = 0;
+    uint64_t prefix_seed = 0; //!< identity of the shared prefix
+    double concentration = 1.0;
+    double locality = 0.5; //!< attention-sink strength (token 0)
+    uint64_t seed = 1;
+
+    int groupSize() const { return heads / kv_heads; }
+    int positions() const { return prompt_len + decode_steps; }
+};
+
+/**
+ * Deterministic row source for a ModelSpec. Unlike LayerWorkload this
+ * holds no materialized matrices: every row is a pure function of
+ * (stream seed, layer, head/KV index, position) re-derived on demand,
+ * which is precisely the property prefix sharing needs — a position's
+ * rows cannot depend on the session's total length or suffix content.
+ *
+ * Quantization is *static* (per-model, not per-request): the int8
+ * scales are fixed functions of the spec geometry, mirroring real
+ * deployments where weights/activations ship with calibrated scales.
+ * Dynamic per-request scales would make two sessions' encodings of
+ * the same prefix float content differ in the low bits, destroying
+ * page identity; static scales make the int8 prefix rows — and hence
+ * whole KV pages — byte-equal across sessions.
+ *
+ * Score structure: each (layer, KV head) has a geometry-seeded unit
+ * context direction shared by ALL sessions; keys carry heavy-tailed
+ * importance along it (amp * u^tau, concentration-controlled) plus an
+ * attention-sink boost at position 0, queries align with it at
+ * ~sqrt(head_dim) — the same vital-token/logit-range regime
+ * generateHead() synthesizes, minus the suffix-length-dependent
+ * recency boost (which would break prefix purity).
+ */
+class ModelWorkload
+{
+  public:
+    explicit ModelWorkload(const ModelSpec &spec);
+
+    const ModelSpec &spec() const { return spec_; }
+
+    /** Static V dequantization scale (same for every stream). */
+    float vScale() const { return v_scale_; }
+    /** Static int-score -> logit factor (same for every stream). */
+    float logitScale() const { return logit_scale_; }
+
+    /**
+     * Stage position @p pos of layer @p layer into the head-major
+     * matrices LayerEngine consumes: row kv of @p k / @p v is KV head
+     * kv's row (kv_heads x head_dim).
+     */
+    void stageKv(int layer, int pos, MatrixI8 &k, MatrixI8 &v) const;
+
+    /** Stage every query head's row for (@p layer, @p pos)
+     *  (heads x head_dim; row h = query head h). */
+    void stageQueries(int layer, int pos, MatrixI8 &q) const;
+
+    /**
+     * Prefix identity chain for page size @p page_tokens: entry d
+     * hashes the K/V bytes of prefix page d across every layer and KV
+     * head, mixed with entry d-1 (and a geometry fingerprint at the
+     * root) — the PrefixIndex key. Length prefix_len / page_tokens;
+     * a non-aligned prefix tail is simply not shareable.
+     */
+    std::vector<uint64_t> prefixPageChain(int page_tokens) const;
+
+  private:
+    /** Seed stream of position @p pos (prefix vs session). */
+    uint64_t streamOf(int pos) const;
+    void keyRow(int layer, int kv, int pos,
+                std::span<std::int8_t> out) const;
+    void valueRow(int layer, int kv, int pos,
+                  std::span<std::int8_t> out) const;
+    void queryRow(int layer, int head, int pos,
+                  std::span<std::int8_t> out) const;
+
+    ModelSpec spec_;
+    std::vector<MatrixF> dirs_; //!< per layer: kv_heads x head_dim
+    double amp_ = 0.0;
+    double tau_ = 0.0;
+    float k_scale_ = 0.0f;
+    float q_scale_ = 0.0f;
+    float v_scale_ = 0.0f;
+    float logit_scale_ = 0.0f;
+};
+
+/**
  * Specification of a synthetic serving trace: request arrivals follow
  * a Poisson process (exponential inter-arrival gaps at @p rate_per_s),
  * prompt lengths are log-uniform over [prompt_min, prompt_max] — the
@@ -193,6 +302,16 @@ struct TraceSpec
      * existing single-class traces regenerate byte-identically.
      */
     int priority_levels = 1;
+    /**
+     * Shared-prefix mix: when > 0, every request draws one of
+     * prefix_groups prefix identities and prepends prefix_tokens
+     * shared tokens to its (still log-uniform) private suffix —
+     * modelling fleets where many conversations share a system
+     * prompt. 0 draws nothing from the RNG, so prefix-free traces
+     * regenerate byte-identically.
+     */
+    int prefix_groups = 0;
+    int prefix_tokens = 0; //!< shared tokens per prefixed request
     uint64_t seed = 1;
 };
 
@@ -200,9 +319,11 @@ struct TraceSpec
 struct ServingRequest
 {
     double arrival_ms = 0.0; //!< arrival offset from trace start
-    int prompt_len = 0;      //!< prompt tokens to prefill
+    int prompt_len = 0;      //!< prompt tokens to prefill (incl. prefix)
     int decode_steps = 0;    //!< tokens to generate
     int priority = 0;        //!< scheduling class (higher first)
+    int prefix_len = 0;      //!< leading shared-prefix tokens
+    uint64_t prefix_seed = 0; //!< shared-prefix identity stream
     uint64_t seed = 0;       //!< per-request workload seed
 };
 

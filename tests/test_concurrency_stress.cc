@@ -23,13 +23,18 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "runtime/thread_pool.h"
 #include "serving/continuous_batcher.h"
 #include "serving/decode_engine.h"
 #include "serving/kv_cache.h"
+#include "serving/model_engine.h"
+#include "serving/prefix_index.h"
 #include "workload/generator.h"
 
 namespace pade {
@@ -64,6 +69,10 @@ runStress(const std::vector<ServingRequest> &trace, int threads)
     opt.kv_heads = 2; // GQA: grouped heads share one cache
     opt.head_dim = 32;
     opt.page_tokens = 16; // small pages => frequent page turnover
+    // Deterministic virtual clock: co-residency (and so peak KV
+    // bytes) must be a pure function of the trace, not of how long
+    // rounds happened to take on a loaded host.
+    opt.fixed_round_ms = 0.25;
     return ContinuousBatcher(opt).run(trace);
 }
 
@@ -84,9 +93,12 @@ TEST(ConcurrencyStress, BatcherManySessionsIdenticalAtThreads2And8)
     }
     EXPECT_EQ(a.tokens_decoded, b.tokens_decoded);
     EXPECT_EQ(a.tokens_prefilled, b.tokens_prefilled);
-    // RoundAccounting folds per-session KV bytes concurrently;
-    // size_t addition commutes, so the peak is thread-invariant too.
+    // RoundAccounting folds per-session KV bytes concurrently
+    // (size_t addition commutes) and fixed_round_ms pins the
+    // admission schedule, so the peak is thread-invariant too.
     EXPECT_EQ(a.peak_cache_bytes, b.peak_cache_bytes);
+    EXPECT_EQ(a.peak_active, b.peak_active);
+    EXPECT_EQ(a.rounds, b.rounds);
     EXPECT_GT(a.peak_cache_bytes, 0u);
 }
 
@@ -285,6 +297,204 @@ TEST(ConcurrencyStress, ReadersInterleavedWithSerializedMutations)
                     << "history " << base + phase_tokens << " reader "
                     << r << " dim " << d;
     }
+}
+
+// ---------------------------------------------------------------------
+// Pipelined ModelEngine sessions sharing ONE PrefixIndex and pool.
+// ---------------------------------------------------------------------
+
+uint64_t
+mixWord(uint64_t acc, uint32_t word)
+{
+    uint64_t state = acc + word;
+    return splitMix64(state);
+}
+
+/**
+ * Run one whole-model session to completion and return the mix of
+ * each retired token's outputs, in retirement (= position) order.
+ * @p index, when given, is the SHARED prefix index: the session
+ * acquires/adopts the first two chain depths before prefilling and
+ * releases them at the end.
+ */
+std::vector<uint64_t>
+runModelSession(const ModelSpec &spec, int page_tokens, bool pipeline,
+                ThreadPool *pool, PrefixIndex *index)
+{
+    ModelWorkload work(spec);
+    std::vector<uint64_t> mixes;
+
+    ModelEngineConfig mc;
+    mc.layers = spec.layers;
+    mc.pipeline = pipeline;
+    mc.layer.heads = spec.heads;
+    mc.layer.kv_heads = spec.kv_heads;
+    mc.layer.head_dim = spec.head_dim;
+    mc.layer.bits = spec.bits;
+    mc.layer.page_tokens = page_tokens;
+
+    const auto streams = static_cast<std::size_t>(spec.layers) *
+        static_cast<std::size_t>(spec.kv_heads);
+    const std::vector<float> v_scales(streams, work.vScale());
+    const std::vector<float> logit_scales(streams, work.logitScale());
+    ModelEngine engine(
+        mc, v_scales, logit_scales,
+        [&work](int layer, int pos, MatrixI8 &k, MatrixI8 &v,
+                MatrixI8 &q) {
+            work.stageKv(layer, pos, k, v);
+            work.stageQueries(layer, pos, q);
+        },
+        [&mixes](const TokenResult &tr) {
+            uint64_t mix = 0;
+            for (const MatrixF &out : tr.outs)
+                for (int r = 0; r < out.rows(); r++)
+                    for (float v : out.row(r))
+                        mix = mixWord(mix,
+                                      std::bit_cast<uint32_t>(v));
+            mixes.push_back(mix);
+        });
+
+    int next = 0;
+    std::vector<uint64_t> chain;
+    int acquired = 0;
+    if (index) {
+        chain = work.prefixPageChain(page_tokens);
+        const PrefixMatch match = index->acquire(chain);
+        acquired = match.pages;
+        for (int d = 0; d < match.pages; d++)
+            engine.adoptPrefixPages(
+                std::span<const std::shared_ptr<const KvPage>>(
+                    match.shared)
+                    .subspan(static_cast<std::size_t>(d) * streams,
+                             streams));
+        next = match.pages * page_tokens;
+    }
+
+    while (next < spec.prompt_len) {
+        for (int c = 0; c < 4 && next < spec.prompt_len; c++)
+            engine.feed(next++, spec.prompt_len);
+        engine.drain(pool);
+    }
+    for (int s = 0; s < spec.decode_steps; s++) {
+        engine.feed(spec.prompt_len + s, spec.prompt_len);
+        engine.drain(pool);
+    }
+    EXPECT_EQ(engine.pending(), 0);
+    if (index && acquired > 0)
+        index->release(chain, acquired);
+    return mixes;
+}
+
+TEST(ConcurrencyStress, PipelinedSessionsShareOnePrefixIndexAndPool)
+{
+    // The serving hot path under maximal sharing: several pipelined
+    // ModelEngines, each on its own thread, adopt the SAME published
+    // prefix pages from ONE PrefixIndex (concurrent acquire/release
+    // on its mutex) and drain their layer pipelines on ONE ThreadPool
+    // (concurrent parallelFor from many external threads). Every
+    // session's token stream must be bit-identical to its private
+    // serial reference — shared pages share even their cached
+    // PlaneWork, so TSan watches the whole read-side.
+    const int page_tokens = 8;
+    const int sessions = 6;
+    ModelSpec base;
+    base.layers = 2;
+    base.heads = 4;
+    base.kv_heads = 2;
+    base.head_dim = 32;
+    base.bits = 8;
+    base.prompt_len = 26;
+    base.decode_steps = 4;
+    base.prefix_len = 16; // exactly 2 shared pages
+    base.prefix_seed = 0xabcdef12u;
+
+    // Donor publishes the prefix pages once.
+    PrefixIndexOptions pio;
+    pio.streams = base.layers * base.kv_heads;
+    PrefixIndex index(pio);
+    {
+        ModelSpec donor = base;
+        donor.seed = 4000;
+        ModelWorkload donor_work(donor);
+        ModelEngineConfig mc;
+        mc.layers = donor.layers;
+        mc.pipeline = false;
+        mc.layer.heads = donor.heads;
+        mc.layer.kv_heads = donor.kv_heads;
+        mc.layer.head_dim = donor.head_dim;
+        mc.layer.bits = donor.bits;
+        mc.layer.page_tokens = page_tokens;
+        const auto streams = static_cast<std::size_t>(pio.streams);
+        const std::vector<float> vs(streams, donor_work.vScale());
+        const std::vector<float> ls(streams,
+                                    donor_work.logitScale());
+        ModelEngine eng(
+            mc, vs, ls,
+            [&donor_work](int layer, int pos, MatrixI8 &k,
+                          MatrixI8 &v, MatrixI8 &q) {
+                donor_work.stageKv(layer, pos, k, v);
+                donor_work.stageQueries(layer, pos, q);
+            },
+            [](const TokenResult &) {});
+        for (int p = 0; p < donor.prompt_len; p++)
+            eng.feed(p, donor.prompt_len);
+        eng.drain(nullptr);
+        std::vector<std::shared_ptr<const KvPage>> pages;
+        eng.sharePrefixPages(0, pages);
+        eng.sharePrefixPages(1, pages);
+        const std::vector<uint64_t> chain =
+            donor_work.prefixPageChain(page_tokens);
+        ASSERT_EQ(index.publish(chain, pages), 2);
+    }
+
+    // Private serial references, one per session seed.
+    std::vector<ModelSpec> specs;
+    std::vector<std::vector<uint64_t>> refs;
+    for (int s = 0; s < sessions; s++) {
+        ModelSpec spec = base;
+        spec.seed = 5000 + static_cast<uint64_t>(s);
+        refs.push_back(runModelSession(spec, page_tokens, false,
+                                       nullptr, nullptr));
+        specs.push_back(spec);
+    }
+
+    // Concurrent adopters: own engine per thread, shared pool+index.
+    ThreadPool pool(4);
+    std::vector<std::vector<uint64_t>> got(
+        static_cast<std::size_t>(sessions));
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(sessions));
+    for (int s = 0; s < sessions; s++) {
+        threads.emplace_back([&, s] {
+            got[static_cast<std::size_t>(s)] = runModelSession(
+                specs[static_cast<std::size_t>(s)], page_tokens,
+                true, &pool, &index);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    const int skipped = base.prefix_len; // adopted, never retired
+    for (int s = 0; s < sessions; s++) {
+        const auto &ref = refs[static_cast<std::size_t>(s)];
+        const auto &adopted = got[static_cast<std::size_t>(s)];
+        ASSERT_EQ(ref.size(),
+                  adopted.size() + static_cast<std::size_t>(skipped))
+            << "session " << s;
+        for (std::size_t i = 0; i < adopted.size(); i++)
+            EXPECT_EQ(adopted[i],
+                      ref[i + static_cast<std::size_t>(skipped)])
+                << "session " << s << " token " << i;
+    }
+
+    const PrefixIndexStats st = index.stats();
+    EXPECT_EQ(st.published, 2u);
+    EXPECT_EQ(st.hit_pages,
+              static_cast<uint64_t>(sessions) * 2u);
+    EXPECT_EQ(index.readersOf(
+                  ModelWorkload(specs[0]).prefixPageChain(
+                      page_tokens)),
+              0);
 }
 
 } // namespace

@@ -425,6 +425,139 @@ TEST(KvCacheEviction, DropPagesBeforeFreesWholePagesOnly)
     EXPECT_EQ(cache.rowOf(33), 1);
 }
 
+TEST(KvCacheEviction, DropPagesInReclaimsDeadMiddlePages)
+{
+    // Regression: dropPagesBefore can only free from the stream front,
+    // so a sink-pinned stream (page 0 alive forever) used to retain
+    // every page between the sinks and the recency window. dropPagesIn
+    // nulls those middle slots in place — indices never renumber.
+    KvCacheConfig kc;
+    kc.head_dim = 16;
+    kc.page_tokens = 8;
+    KvCache cache(kc);
+    std::vector<int8_t> row(16, 1);
+    for (int t = 0; t < 42; t++)
+        cache.appendToken(row, row);
+    ASSERT_EQ(cache.numPages(), 6);
+    const std::size_t full_bytes = cache.bytesUsed();
+
+    // Tokens [8, 32) are dead: pages 1..3 die, page 0 (sinks) and the
+    // recency pages survive. No renumbering: firstLiveToken stays 0.
+    cache.dropPagesIn(8, 32);
+    EXPECT_EQ(cache.firstLiveToken(), 0);
+    EXPECT_EQ(cache.numPages(), 6);
+    EXPECT_EQ(cache.livePages(), 3);
+    EXPECT_LT(cache.bytesUsed(), full_bytes);
+    EXPECT_TRUE(cache.pageLive(0));
+    for (int p = 1; p <= 3; p++)
+        EXPECT_FALSE(cache.pageLive(p));
+    EXPECT_TRUE(cache.pageLive(4));
+    EXPECT_TRUE(cache.pageLive(5));
+
+    // Live tokens on both sides of the hole stay addressable.
+    EXPECT_EQ(static_cast<int>(cache.valueRow(7).size()), 16);
+    EXPECT_EQ(static_cast<int>(cache.valueRow(33).size()), 16);
+
+    // Partially-dead pages survive: killing [4, 12) covers no whole
+    // live page (page 0 has live tokens 0..3, page 1 is gone already).
+    cache.dropPagesIn(4, 12);
+    EXPECT_TRUE(cache.pageLive(0));
+
+    // The append frontier never dies, even when its tokens are all in
+    // range — appendToken must not resurrect a reclaimed slot.
+    cache.dropPagesIn(40, 48);
+    EXPECT_TRUE(cache.pageLive(5));
+    for (int t = 42; t < 50; t++)
+        cache.appendToken(row, row);
+    EXPECT_EQ(cache.size(), 50);
+    EXPECT_EQ(cache.pageOf(49), 6);
+    EXPECT_EQ(cache.livePages(), 4);
+
+    // Middle holes compose with front eviction: the horizon moving
+    // past the hole re-frees from the front without double-counting.
+    cache.dropPagesBefore(16);
+    EXPECT_EQ(cache.firstLiveToken(), 16);
+    EXPECT_EQ(cache.livePages(), 3);
+}
+
+TEST(KvCacheEvictionDeathTest, TouchingReclaimedMiddlePageAborts)
+{
+    KvCacheConfig kc;
+    kc.head_dim = 8;
+    kc.page_tokens = 4;
+    KvCache cache(kc);
+    std::vector<int8_t> row(8, 1);
+    for (int t = 0; t < 12; t++)
+        cache.appendToken(row, row);
+    cache.dropPagesIn(4, 8); // page 1 dies
+    ASSERT_FALSE(cache.pageLive(1));
+    // Liveness is a hard invariant of the scan side: reading a
+    // reclaimed slot is a use-after-free, not a soft miss.
+    EXPECT_DEATH((void)cache.valueRow(5), "PADE_CHECK");
+    EXPECT_DEATH((void)cache.pagePlanes(1), "PADE_CHECK");
+}
+
+TEST(Retention, SinkPinnedStreamReclaimsDeadMiddleBitIdentically)
+{
+    // The satellite regression: with sinks pinned, applyRetention now
+    // frees the dead middle via dropPagesIn — and because the scan
+    // only visits kept tokens, decode over the holed cache is bit-
+    // identical to decode over the never-evicted one.
+    const int head_dim = 32;
+    const int prompt = 56;
+    const int steps = 6;
+    WorkloadSpec spec;
+    spec.seq_len = prompt + steps;
+    spec.query_len = steps;
+    spec.head_dim = head_dim;
+    spec.seed = 29;
+    const QuantizedHead full = quantizeHead(generateHead(spec), 8);
+
+    KvCacheConfig kc;
+    kc.head_dim = head_dim;
+    kc.page_tokens = 8;
+    kc.v_scale = full.v.params.scale;
+    KvCache evicted(kc);
+    KvCache resident(kc);
+
+    RetentionPolicy sinks;
+    sinks.sink_tokens = 8;
+    sinks.recency_tokens = 16;
+    DecodeEngine on_evicted{PadeConfig{}, sinks};
+    DecodeEngine on_resident{PadeConfig{}, sinks};
+
+    std::vector<float> out_a(head_dim);
+    std::vector<float> out_b(head_dim);
+    for (int t = 0; t < prompt; t++) {
+        evicted.appendToken(full.k.values.row(t), full.v.values.row(t));
+        resident.appendToken(full.k.values.row(t),
+                             full.v.values.row(t));
+    }
+    for (int t = 0; t < steps; t++) {
+        const int pos = prompt + t;
+        evicted.appendToken(full.k.values.row(pos),
+                            full.v.values.row(pos));
+        resident.appendToken(full.k.values.row(pos),
+                             full.v.values.row(pos));
+        const DecodeStep a = on_evicted.step(
+            evicted, full.q.values.row(t), full.logit_scale, out_a);
+        on_evicted.applyRetention(evicted);
+        const DecodeStep b = on_resident.step(
+            resident, full.q.values.row(t), full.logit_scale, out_b);
+        EXPECT_EQ(a.keys, b.keys);
+        EXPECT_EQ(a.retained, b.retained);
+        EXPECT_EQ(a.planes, b.planes);
+        expectRowsBitEqual(out_a, out_b, "middle-drop parity");
+    }
+    expectStatsEqual(on_evicted.stats(), on_resident.stats());
+
+    // And memory really came back: sinks pin page 0 so the front is
+    // frozen, yet whole middle pages are gone.
+    EXPECT_EQ(evicted.firstLiveToken(), 0);
+    EXPECT_LT(evicted.livePages(), evicted.numPages());
+    EXPECT_LT(evicted.bytesUsed(), resident.bytesUsed());
+}
+
 TEST(Retention, WindowCoveringHistoryIsBitIdenticalToFullDecode)
 {
     // The satellite contract: when nothing is actually evicted (the

@@ -485,8 +485,8 @@ TEST(ContinuousBatcher, PrefillOnlyRequestCompletesItsPrompt)
     // not emit a decode token, and must keep the (empty) TTFT sample
     // set clean.
     std::vector<ServingRequest> trace(2);
-    trace[0] = {0.0, 12, 0, 0, 5};
-    trace[1] = {0.0, 7, 0, 0, 6};
+    trace[0] = {.prompt_len = 12, .seed = 5};
+    trace[1] = {.prompt_len = 7, .seed = 6};
 
     BatcherOptions opt;
     opt.threads = 1;
@@ -514,10 +514,10 @@ TEST(ContinuousBatcher, PriorityThenArrivalAdmission)
     // the timeline must record both the class and the global
     // admission sequence.
     std::vector<ServingRequest> trace(4);
-    trace[0] = {0.0, 8, 2, 0, 11};
-    trace[1] = {0.0, 8, 2, 2, 12};
-    trace[2] = {0.0, 8, 2, 2, 13};
-    trace[3] = {0.0, 8, 2, 5, 14};
+    trace[0] = {.prompt_len = 8, .decode_steps = 2, .priority = 0, .seed = 11};
+    trace[1] = {.prompt_len = 8, .decode_steps = 2, .priority = 2, .seed = 12};
+    trace[2] = {.prompt_len = 8, .decode_steps = 2, .priority = 2, .seed = 13};
+    trace[3] = {.prompt_len = 8, .decode_steps = 2, .priority = 5, .seed = 14};
 
     BatcherOptions opt;
     opt.threads = 1;
@@ -573,6 +573,122 @@ TEST(ContinuousBatcher, GqaSessionsDeterministicAcrossThreadCounts)
         EXPECT_EQ(a.sessions[i].checksum, b.sessions[i].checksum);
         EXPECT_EQ(a.sessions[i].prefill_checksum,
                   b.sessions[i].prefill_checksum);
+    }
+}
+
+TEST(ContinuousBatcher, MultiLayerPipelinedMatchesSerialSchedule)
+{
+    // Whole-model sessions (3 layers): the software-pipelined layer
+    // schedule must reproduce the serial layer-by-layer reference bit
+    // for bit — per session and in aggregate — at any thread count.
+    TraceSpec ts;
+    ts.num_requests = 4;
+    ts.rate_per_s = 2000.0;
+    ts.prompt_min = 8;
+    ts.prompt_max = 14;
+    ts.decode_min = 2;
+    ts.decode_max = 4;
+    ts.seed = 43;
+    const std::vector<ServingRequest> trace = poissonArrivalTrace(ts);
+
+    auto runWith = [&](int threads, bool pipeline) {
+        BatcherOptions opt;
+        opt.threads = threads;
+        opt.max_active = 2;
+        opt.layers = 3;
+        opt.heads = 2;
+        opt.kv_heads = 2;
+        opt.head_dim = 24;
+        opt.prefill_chunk = 4;
+        opt.page_tokens = 8;
+        opt.pipeline = pipeline;
+        return ContinuousBatcher(opt).run(trace);
+    };
+    const ServingReport serial = runWith(1, false);
+    const ServingReport piped1 = runWith(1, true);
+    const ServingReport piped4 = runWith(4, true);
+    EXPECT_NE(serial.checksum, 0u);
+    EXPECT_NE(serial.prefill_checksum, 0u);
+    for (const ServingReport *r : {&piped1, &piped4}) {
+        EXPECT_EQ(serial.checksum, r->checksum);
+        EXPECT_EQ(serial.prefill_checksum, r->prefill_checksum);
+        for (std::size_t i = 0; i < trace.size(); i++) {
+            EXPECT_EQ(serial.sessions[i].checksum,
+                      r->sessions[i].checksum);
+            EXPECT_EQ(serial.sessions[i].prefill_checksum,
+                      r->sessions[i].prefill_checksum);
+        }
+    }
+}
+
+TEST(ContinuousBatcher, PrefixCacheSavesWorkWithoutChangingOutputs)
+{
+    // One shared-prefix group, one slot: sessions run strictly in
+    // sequence, so every request after the first adopts the published
+    // prefix pages. Checksums must not care — prefill_checksum mixes
+    // only suffix positions and adopted pages are byte-identical to
+    // privately built ones.
+    TraceSpec ts;
+    ts.num_requests = 5;
+    ts.rate_per_s = 3000.0;
+    ts.prompt_min = 6;
+    ts.prompt_max = 12;
+    ts.decode_min = 2;
+    ts.decode_max = 3;
+    ts.seed = 91;
+    ts.prefix_groups = 1;
+    ts.prefix_tokens = 16;
+    const std::vector<ServingRequest> trace = poissonArrivalTrace(ts);
+    for (const ServingRequest &req : trace) {
+        EXPECT_EQ(req.prefix_len, 16);
+        EXPECT_GT(req.prompt_len, req.prefix_len);
+    }
+
+    auto runWith = [&](int threads, bool cache) {
+        BatcherOptions opt;
+        opt.threads = threads;
+        opt.max_active = 1;
+        opt.layers = 2;
+        opt.heads = 2;
+        opt.kv_heads = 2;
+        opt.head_dim = 24;
+        opt.prefill_chunk = 4;
+        opt.page_tokens = 8; // prefix spans exactly 2 shared pages
+        opt.prefix_cache = cache;
+        return ContinuousBatcher(opt).run(trace);
+    };
+    const ServingReport cold = runWith(1, false);
+    const ServingReport warm = runWith(1, true);
+    const ServingReport warm4 = runWith(4, true);
+
+    // Outputs: hit/miss- and thread-count-invariant.
+    EXPECT_NE(cold.checksum, 0u);
+    EXPECT_NE(cold.prefill_checksum, 0u);
+    for (const ServingReport *r : {&warm, &warm4}) {
+        EXPECT_EQ(cold.checksum, r->checksum);
+        EXPECT_EQ(cold.prefill_checksum, r->prefill_checksum);
+        for (std::size_t i = 0; i < trace.size(); i++) {
+            EXPECT_EQ(cold.sessions[i].checksum,
+                      r->sessions[i].checksum);
+            EXPECT_EQ(cold.sessions[i].prefill_checksum,
+                      r->sessions[i].prefill_checksum);
+        }
+    }
+
+    // Work: with one slot the first session publishes both prefix
+    // pages and every later session adopts them.
+    EXPECT_EQ(cold.tokens_prefix_hit, 0u);
+    EXPECT_EQ(warm.tokens_prefix_hit, 4u * 16u);
+    EXPECT_GT(warm.prefix_bytes_saved, 0u);
+    EXPECT_EQ(warm.prefix.published, 2u); // both chain depths, once
+    EXPECT_EQ(warm.prefix.hit_pages, 4u * 2u);
+    EXPECT_EQ(warm.prefix.evictions, 0u);
+    for (std::size_t i = 0; i < trace.size(); i++) {
+        EXPECT_EQ(warm.sessions[i].prefix_len, 16);
+        if (warm.sessions[i].admit_seq == 0)
+            EXPECT_EQ(warm.sessions[i].prefix_hit_tokens, 0);
+        else
+            EXPECT_EQ(warm.sessions[i].prefix_hit_tokens, 16);
     }
 }
 
