@@ -4,7 +4,7 @@
  * machine-readable BENCH_perf.json so the performance trajectory is
  * visible across PRs (CI uploads the file as an artifact).
  *
- * Seven stages are measured:
+ * Eight stages are measured:
  *  1. QK scoring kernel — the three-way kernel comparison (scalar
  *     ctz-walk oracle, word-parallel popcount, AVX2 SIMD backend)
  *     across {seq, bits, head_dim} points, including the
@@ -37,7 +37,12 @@
  *     ContinuousBatcher run over a shared-prefix trace with the
  *     cross-session prefix cache off vs on — adopted prompt tokens,
  *     KV bytes never re-materialized, and the (bit-identical)
- *     checksum match.
+ *     checksum match;
+ *  8. telemetry overhead — the pipelined model decode of stage 7
+ *     timed with trace-span recording off (metric counters only, the
+ *     permanent registry cost) and on (ring-buffered round/unit
+ *     spans); the delta is the observability tax and must stay under
+ *     2% (docs/OBSERVABILITY.md).
  *
  * Flags: --quick (CI smoke: fewer/smaller points), --reps=N best-of
  * repetitions (default 3), --out=FILE (default BENCH_perf.json),
@@ -54,6 +59,8 @@
 #include "bench/common.h"
 #include "core/pade_attention.h"
 #include "core/simd/qk_dispatch.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "quant/bitplane.h"
 #include "runtime/batch_driver.h"
 #include "runtime/thread_pool.h"
@@ -360,7 +367,7 @@ main(int argc, char **argv)
     //    SIMD backend targets (ISSUE 3 acceptance: >= 1.5x over
     //    popcount there).
     // ------------------------------------------------------------------
-    std::printf("\n[1/7] QK scoring kernel (exactDot over all pairs; "
+    std::printf("\n[1/8] QK scoring kernel (exactDot over all pairs; "
                 "simd %s)\n",
                 qkSimdAvailable() ? "available" : "UNAVAILABLE");
     Table t1;
@@ -441,7 +448,7 @@ main(int argc, char **argv)
     //    workspace. kSimd silently resolves to kPopcount when the
     //    backend is unavailable (the two columns then read the same).
     // ------------------------------------------------------------------
-    std::printf("\n[2/7] padeAttention (guarded, workspace reuse)\n");
+    std::printf("\n[2/8] padeAttention (guarded, workspace reuse)\n");
     Table t2;
     t2.header({"seq", "scalar ms", "popcount ms", "simd ms",
                "simd/scalar", "keep rate"});
@@ -485,7 +492,7 @@ main(int argc, char **argv)
     // ------------------------------------------------------------------
     // 3. Reference attention (cache-blocked matmul path + flash).
     // ------------------------------------------------------------------
-    std::printf("\n[3/7] reference attention (oracle path)\n");
+    std::printf("\n[3/8] reference attention (oracle path)\n");
     Table t3;
     t3.header({"seq", "queries", "dense ms", "flash ms"});
     json.openArray("reference");
@@ -521,7 +528,7 @@ main(int argc, char **argv)
     // ------------------------------------------------------------------
     // 4. Batch-driver sweep across {seq, bits, concentration}.
     // ------------------------------------------------------------------
-    std::printf("\n[4/7] batch-driver sweep (%d workers)\n",
+    std::printf("\n[4/8] batch-driver sweep (%d workers)\n",
                 sweep_threads);
     std::vector<BatchItem> sweep;
     for (int seq : quick ? std::vector<int>{2048}
@@ -560,7 +567,7 @@ main(int argc, char **argv)
     //    re-pack cost is O(context); the total step cost additionally
     //    carries the O(context) guarded scan both paths share.
     // ------------------------------------------------------------------
-    std::printf("\n[5/7] serving decode (incremental KvCache vs "
+    std::printf("\n[5/8] serving decode (incremental KvCache vs "
                 "re-pack)\n");
     Table t5;
     t5.header({"ctx", "append us/tok", "cached us/tok",
@@ -607,7 +614,7 @@ main(int argc, char **argv)
     //    across the group (acceptance: the 8:1 ratio sits measurably
     //    below 1.0), and KV residency scales with kv_heads.
     // ------------------------------------------------------------------
-    std::printf("\n[6/7] GQA layer decode (8 query heads, shared KV "
+    std::printf("\n[6/8] GQA layer decode (8 query heads, shared KV "
                 "caches)\n");
     Table t6;
     t6.header({"heads", "kv", "ratio", "ctx", "layer us/tok",
@@ -662,7 +669,7 @@ main(int argc, char **argv)
     //    ContinuousBatcher (adopted tokens + KV bytes saved; the
     //    checksums must match bit for bit, cache on or off).
     // ------------------------------------------------------------------
-    std::printf("\n[7/7] model serving (pipelined layers, prefix "
+    std::printf("\n[7/8] model serving (pipelined layers, prefix "
                 "cache)\n");
     Table t7;
     t7.header({"layers", "serial us/tok", "pipelined us/tok",
@@ -787,6 +794,59 @@ main(int argc, char **argv)
                    static_cast<int64_t>(warm.prefix.hit_pages));
         json.field("checksum_match",
                    std::string(match ? "true" : "false"));
+        json.close();
+    }
+
+    // ------------------------------------------------------------------
+    // 8. Telemetry overhead: the same pipelined model decode measured
+    //    with span recording disabled (metric counters still run —
+    //    that is the permanent, unavoidable cost of the registry) and
+    //    enabled (ring-buffer spans on every round/unit). The delta is
+    //    the full observability tax; acceptance target is < 2%. A
+    //    PADE_TELEMETRY=OFF build compiles both paths to no-ops, so
+    //    `telemetry_compiled` records which regime this run measured.
+    // ------------------------------------------------------------------
+    std::printf("\n[8/8] telemetry overhead (spans off vs on; compiled "
+                "%s)\n",
+                obs::kTelemetryEnabled ? "ON" : "OFF");
+    {
+        const int ctx = quick ? 192 : 384;
+        const int steps = quick ? 16 : 32;
+        ThreadPool pool(sweep_threads);
+        obs::setTraceEnabled(false);
+        const ModelServeCost spans_off = measureModelServe(
+            2, true, &pool, ctx, steps, reps, checksum);
+        obs::clearTrace();
+        obs::setTraceCapacity(1u << 20); // never wraps during the run
+        obs::setTraceEnabled(true);
+        const ModelServeCost spans_on = measureModelServe(
+            2, true, &pool, ctx, steps, reps, checksum);
+        obs::setTraceEnabled(false);
+        const obs::TraceStats tstats = obs::traceStats();
+        obs::clearTrace();
+        obs::setTraceCapacity(16384); // restore the default ring size
+
+        const double overhead_pct = spans_off.us_per_tok > 0.0
+            ? (spans_on.us_per_tok / spans_off.us_per_tok - 1.0) *
+                100.0
+            : 0.0;
+        std::printf("pipelined decode %.1f -> %.1f us/tok with spans "
+                    "(%+.2f%% overhead, %llu events buffered)\n",
+                    spans_off.us_per_tok, spans_on.us_per_tok,
+                    overhead_pct,
+                    static_cast<unsigned long long>(tstats.recorded));
+
+        json.openObject("telemetry_overhead");
+        json.field("telemetry_compiled",
+                   std::string(obs::kTelemetryEnabled ? "true"
+                                                      : "false"));
+        json.field("ctx", static_cast<int64_t>(ctx));
+        json.field("decode_steps", static_cast<int64_t>(steps));
+        json.field("us_per_tok_spans_off", spans_off.us_per_tok);
+        json.field("us_per_tok_spans_on", spans_on.us_per_tok);
+        json.field("overhead_pct", overhead_pct);
+        json.field("trace_events_recorded",
+                   static_cast<int64_t>(tstats.recorded));
         json.close();
     }
 

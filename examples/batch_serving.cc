@@ -2,10 +2,13 @@
  * @file
  * Continuous-batching serving demo: a Poisson arrival trace of mixed
  * prefill+decode requests served through the incremental KV-cache
- * engine (`ContinuousBatcher` on the shared `ThreadPool`).
+ * engine (`ContinuousBatcher` on the shared `ThreadPool`), with the
+ * cross-session prefix cache on (requests share seeded prompt
+ * prefixes, so later arrivals adopt the pages earlier ones built).
  *
  *   $ ./batch_serving [--requests 24] [--rate 200] [--slots 4]
  *                     [--threads 0] [--seed 42]
+ *                     [--trace out.json] [--stats stats.json]
  *
  * The same trace is served twice — on 1 worker and on all cores — to
  * show that (a) every decoded token AND every scored prefill output
@@ -13,6 +16,14 @@
  * per-session computation is sequential and seeded; only latency is
  * a host measurement), and (b) wall-clock and tail latency improve
  * with the machine.
+ *
+ * Telemetry artifacts (docs/OBSERVABILITY.md): --trace writes a
+ * Chrome trace_event JSON of the multi-worker run (open in
+ * chrome://tracing or https://ui.perfetto.dev) and --stats writes the
+ * run's metric-registry delta — pipeline-bubble ratio, KV bytes per
+ * token, prefix-cache hit counters. --trace alone also writes the
+ * stats next to it (<trace>.stats.json), so one flag produces both
+ * artifacts.
  *
  * Exit status is nonzero if the two runs' token checksums diverge or
  * any request fails to finish, so CI can smoke-test the scheduler.
@@ -25,6 +36,7 @@
 
 #include "bench/common.h"
 #include "serving/continuous_batcher.h"
+#include "serving/report_format.h"
 #include "workload/generator.h"
 
 using namespace pade;
@@ -40,6 +52,10 @@ main(int argc, char **argv)
     const int threads = static_cast<int>(cli.getInt("threads", 0));
     const uint64_t seed =
         static_cast<uint64_t>(cli.getInt("seed", 42));
+    const std::string trace_file = cli.get("trace", "");
+    std::string stats_file = cli.get("stats", "");
+    if (stats_file.empty() && !trace_file.empty())
+        stats_file = trace_file + ".stats.json";
     banner("Continuous batching on the PADE serving engine");
 
     TraceSpec ts;
@@ -49,6 +65,10 @@ main(int argc, char **argv)
     ts.prompt_max = 512;
     ts.decode_min = 8;
     ts.decode_max = 48;
+    // Two shared-prefix families: page-aligned 128-token prefixes so
+    // the prefix cache has real hits to count in the stats snapshot.
+    ts.prefix_groups = 2;
+    ts.prefix_tokens = 128;
     ts.seed = seed;
     const std::vector<ServingRequest> trace = poissonArrivalTrace(ts);
 
@@ -56,12 +76,18 @@ main(int argc, char **argv)
     opt.max_active = slots;
     opt.head_dim = 64;
     opt.prefill_chunk = 128;
+    // 64-token pages make the 128-token prefixes exactly two shared
+    // pages; prefix caching is numerically transparent (see
+    // serving/continuous_batcher.h), so both runs keep it on.
+    opt.page_tokens = 64;
+    opt.prefix_cache = true;
 
     opt.threads = 1;
     const ServingReport seq = ContinuousBatcher(opt).run(trace);
     const int workers =
         threads > 0 ? threads : ThreadPool::hardwareThreads();
     opt.threads = workers;
+    opt.trace_file = trace_file; // only the parallel run is traced
     const ServingReport par = ContinuousBatcher(opt).run(trace);
 
     Table t;
@@ -78,25 +104,26 @@ main(int argc, char **argv)
     }
     t.print();
 
-    auto emitReport = [](const char *name, const ServingReport &r) {
-        std::printf(
-            "%s: %llu prefill + %llu decode tokens, %d rounds, "
-            "peak %d sessions / %.1f MB KV; decode %.0f tok/s; "
-            "latency p50/p95/p99 = %.1f/%.1f/%.1f ms, "
-            "ttft p50/p99 = %.1f/%.1f ms\n",
-            name,
-            static_cast<unsigned long long>(r.tokens_prefilled),
-            static_cast<unsigned long long>(r.tokens_decoded),
-            r.rounds, r.peak_active,
-            static_cast<double>(r.peak_cache_bytes) / 1e6,
-            r.decode_tok_per_s, r.latency_ms.p50, r.latency_ms.p95,
-            r.latency_ms.p99, r.ttft_ms.p50, r.ttft_ms.p99);
-    };
-    std::printf("\n");
-    emitReport("1 worker ", seq);
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%d workers", workers);
-    emitReport(buf, par);
+    std::printf("\n%s", formatServingReport("1 worker ", seq).c_str());
+    char label[32];
+    std::snprintf(label, sizeof(label), "%d workers", workers);
+    std::printf("%s", formatServingReport(label, par).c_str());
+
+    if (!stats_file.empty()) {
+        std::FILE *f = std::fopen(stats_file.c_str(), "wb");
+        if (f) {
+            std::fwrite(par.telemetry.data(), 1,
+                        par.telemetry.size(), f);
+            std::fputc('\n', f);
+            std::fclose(f);
+            std::printf("stats snapshot    : %s\n",
+                        stats_file.c_str());
+        }
+    }
+    if (!trace_file.empty())
+        std::printf("chrome trace      : %s (chrome://tracing or "
+                    "ui.perfetto.dev)\n",
+                    trace_file.c_str());
 
     // Real completion gate: every prompt token prefilled and every
     // requested token decoded, in both runs, per the trace itself.

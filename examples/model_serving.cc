@@ -34,6 +34,7 @@
 #include "common/rng.h"
 #include "serving/kv_cache.h"
 #include "serving/layer_engine.h"
+#include "serving/report_format.h"
 #include "workload/generator.h"
 
 using namespace pade;
@@ -192,17 +193,27 @@ main(int argc, char **argv)
 
     const bool oracle_ok = serial_sum == oracle_sum;
     const bool pool_ok = serial_sum == pooled_sum;
-    std::printf("decode checksum   : %016llx (grouped)\n",
-                static_cast<unsigned long long>(serial_sum));
-    std::printf("oracle checksum   : %016llx (%s)\n",
-                static_cast<unsigned long long>(oracle_sum),
-                oracle_ok ? "bit-identical" : "DIVERGED");
-    std::printf("pooled checksum   : %016llx (%s)\n",
-                static_cast<unsigned long long>(pooled_sum),
-                pool_ok ? "bit-identical" : "DIVERGED");
-    std::printf("prefill checksum  : %016llx (scored, %d positions)\n",
-                static_cast<unsigned long long>(prefill_sum),
-                spec.prompt_len);
+    char note[48];
+    std::printf("%s\n",
+                formatChecksumLine("decode checksum", serial_sum,
+                                   "grouped")
+                    .c_str());
+    std::printf("%s\n",
+                formatChecksumLine("oracle checksum", oracle_sum,
+                                   oracle_ok ? "bit-identical"
+                                             : "DIVERGED")
+                    .c_str());
+    std::printf("%s\n",
+                formatChecksumLine("pooled checksum", pooled_sum,
+                                   pool_ok ? "bit-identical"
+                                           : "DIVERGED")
+                    .c_str());
+    std::snprintf(note, sizeof(note), "scored, %d positions",
+                  spec.prompt_len);
+    std::printf("%s\n",
+                formatChecksumLine("prefill checksum", prefill_sum,
+                                   note)
+                    .c_str());
     std::printf("\nKV residency      : %.2f MB shared (%d caches) vs "
                 "%.2f MB private (%d caches) — %.1fx\n",
                 static_cast<double>(grouped_bytes) / 1e6,

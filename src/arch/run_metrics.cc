@@ -32,6 +32,13 @@ Percentiles::of(std::span<const double> samples)
     p.p50 = nearestRank(sorted, 0.50);
     p.p95 = nearestRank(sorted, 0.95);
     p.p99 = nearestRank(sorted, 0.99);
+    p.p999 = nearestRank(sorted, 0.999);
+    p.max = sorted.back();
+    p.count = static_cast<int64_t>(sorted.size());
+    double sum = 0.0;
+    for (const double v : sorted)
+        sum += v;
+    p.mean = sum / static_cast<double>(sorted.size());
     return p;
 }
 

@@ -27,12 +27,18 @@ struct Percentiles
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
+    double mean = 0.0;
+    double max = 0.0;
+    int64_t count = 0; //!< samples summarized (0 => all fields 0)
 
     /**
      * Nearest-rank percentiles of @p samples (order irrelevant; an
      * empty set yields all zeros). p99 of n samples is the
      * ceil(0.99 * n)-th smallest — the conventional nearest-rank
-     * definition, so p100 would be the maximum.
+     * definition, so p100 would be the maximum; in particular every
+     * percentile of a singleton set is that one sample, and p999
+     * equals max until the set reaches 1000 samples.
      */
     static Percentiles of(std::span<const double> samples);
 };

@@ -6,8 +6,48 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/telemetry.h"
 
 namespace pade {
+
+namespace {
+
+// Pool-wide telemetry (docs/OBSERVABILITY.md). Registry references
+// are process-lifetime stable, so each is resolved once and cached;
+// steady-state recording is one relaxed atomic per event.
+obs::Counter &
+poolTasks()
+{
+    static obs::Counter &c =
+        obs::Registry::instance().counter("pool.tasks");
+    return c;
+}
+
+obs::Counter &
+poolSteals()
+{
+    static obs::Counter &c =
+        obs::Registry::instance().counter("pool.steals");
+    return c;
+}
+
+obs::Counter &
+poolIdleUs()
+{
+    static obs::Counter &c =
+        obs::Registry::instance().counter("pool.idle_us");
+    return c;
+}
+
+obs::Gauge &
+poolQueueDepth()
+{
+    static obs::Gauge &g =
+        obs::Registry::instance().gauge("pool.queue_depth");
+    return g;
+}
+
+} // namespace
 
 int
 ThreadPool::hardwareThreads()
@@ -45,6 +85,7 @@ ThreadPool::submit(std::function<void()> task)
     {
         MutexLock lock(mu_);
         queue_.push_back(std::move(task));
+        poolQueueDepth().set(static_cast<double>(queue_.size()));
     }
     cv_task_.notifyOne();
 }
@@ -69,6 +110,10 @@ ThreadPool::tryRunOne()
         queue_.pop_front();
         active_++;
     }
+    // A successful tryRunOne is a "steal": a caller thread (typically
+    // a parallelFor waiter) executing work a pool worker would
+    // otherwise run — the numerator of help-drain effectiveness.
+    poolSteals().add(1);
     try {
         task();
     } catch (...) {
@@ -92,14 +137,29 @@ ThreadPool::workerLoop()
         std::function<void()> task;
         {
             MutexLock lock(mu_);
-            while (!hasWorkOrStopped())
-                cv_task_.wait(lock);
+            if (!hasWorkOrStopped())
+            {
+                // Only stamp the clock when the worker actually
+                // parks: the streaming case (work already queued)
+                // must stay free of timer syscalls.
+                const auto idle_from =
+                    std::chrono::steady_clock::now();
+                do
+                    cv_task_.wait(lock);
+                while (!hasWorkOrStopped());
+                poolIdleUs().add(static_cast<uint64_t>(
+                    std::chrono::duration_cast<
+                        std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - idle_from)
+                        .count()));
+            }
             if (queue_.empty())
                 return; // stop_ set and nothing left to drain
             task = std::move(queue_.front());
             queue_.pop_front();
             active_++;
         }
+        poolTasks().add(1);
         try {
             task();
         } catch (...) {

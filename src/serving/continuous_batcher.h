@@ -68,6 +68,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "arch/run_metrics.h"
@@ -111,6 +112,15 @@ struct BatcherOptions
     double locality = 0.5;
     PadeConfig pade;       //!< decode algorithm configuration
     RetentionPolicy retention; //!< optional sink+recency KV eviction
+    /**
+     * Non-empty: enable span recording for the run and write the
+     * Chrome trace_event JSON (chrome://tracing / Perfetto) here at
+     * the end. Spans cover batcher rounds, per-session units
+     * (materialize / prefill chunk / decode token), and ModelEngine
+     * pipeline stages; admissions and evictions are instant events.
+     * See docs/OBSERVABILITY.md.
+     */
+    std::string trace_file;
 };
 
 /** Per-request timeline, index-aligned with the input trace. */
@@ -142,6 +152,9 @@ struct ServingReport
     std::vector<SessionStats> sessions;
     Percentiles latency_ms; //!< finish - arrival
     Percentiles ttft_ms;    //!< time to first token
+    /** Time per output token after the first ((finish - first_token)
+     *  / (decoded - 1)); sessions decoding < 2 tokens are excluded. */
+    Percentiles tpot_ms;
     double wall_ms = 0.0;     //!< real host wall of the run loop
     double makespan_ms = 0.0; //!< final virtual-clock value
     uint64_t tokens_prefilled = 0;
@@ -161,6 +174,26 @@ struct ServingReport
     uint64_t checksum = 0;
     /** XOR of session prefill checksums: thread-count invariant. */
     uint64_t prefill_checksum = 0;
+    /**
+     * Fraction of the run's pipeline round capacity (min(threads,
+     * flights) x round wall, summed) that no unit computed in:
+     * 1 - model.unit_busy_us / model.round_capacity_us over the run's
+     * metric delta. 0 when the library was built without telemetry
+     * (PADE_TELEMETRY=OFF) — the counters never move.
+     */
+    double pipeline_bubble_ratio = 0.0;
+    /** KV bytes committed per token the run appended privately
+     *  (page-granular; all layers and KV heads of the model). 0
+     *  without telemetry. */
+    double kv_bytes_per_token = 0.0;
+    /**
+     * The run's metric delta as a JSON document
+     * ({"schema":"pade-serving-telemetry-v1","enabled":...,
+     * "derived":{...},"metrics":{...}}); always well-formed, all
+     * zeros when built with PADE_TELEMETRY=OFF. Exported verbatim by
+     * examples/batch_serving --stats and bench/perf_suite.
+     */
+    std::string telemetry;
 };
 
 /**

@@ -2,8 +2,46 @@
 
 #include "common/check.h"
 #include "core/bit_serial.h"
+#include "obs/telemetry.h"
 
 namespace pade {
+
+namespace {
+
+// Per-step decode telemetry: pruning effectiveness and kernel
+// dispatch mix (docs/OBSERVABILITY.md). References cached once; the
+// recording cost is a handful of relaxed adds per *step*, never per
+// key.
+struct DecodeMetrics
+{
+    obs::Counter &steps;
+    obs::Counter &keys_scanned;
+    obs::Counter &keys_retained;
+    obs::Counter &planes_consumed;
+    obs::Counter &planes_total;
+    obs::Counter &dispatch_scalar;
+    obs::Counter &dispatch_popcount;
+    obs::Counter &dispatch_simd;
+
+    static DecodeMetrics &
+    get()
+    {
+        static DecodeMetrics m{
+            obs::Registry::instance().counter("decode.steps"),
+            obs::Registry::instance().counter("decode.keys_scanned"),
+            obs::Registry::instance().counter("decode.keys_retained"),
+            obs::Registry::instance().counter(
+                "decode.planes_consumed"),
+            obs::Registry::instance().counter("decode.planes_total"),
+            obs::Registry::instance().counter("qk.dispatch_scalar"),
+            obs::Registry::instance().counter("qk.dispatch_popcount"),
+            obs::Registry::instance().counter("qk.dispatch_simd"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 DecodeEngine::DecodeEngine(PadeConfig cfg, RetentionPolicy retention)
     : cfg_(cfg), retention_(retention)
@@ -85,6 +123,14 @@ DecodeEngine::runGroup(const KvCache &cache, int qpos, int order_len,
     const QkKernel kernel = resolveQkKernel(cfg_.qk_kernel);
     const bool packed_qk = kernel != QkKernel::kScalar;
     const bool simd_qk = kernel == QkKernel::kSimd;
+    if constexpr (obs::kTelemetryEnabled) {
+        DecodeMetrics &m = DecodeMetrics::get();
+        m.steps.add(1);
+        (simd_qk         ? m.dispatch_simd
+             : packed_qk ? m.dispatch_popcount
+                         : m.dispatch_scalar)
+            .add(1);
+    }
 
     // Stage per-head query state once per step. Everything below the
     // key loop reads it; nothing rebuilds per key.
@@ -110,6 +156,7 @@ DecodeEngine::runGroup(const KvCache &cache, int qpos, int order_len,
 
     DecodeStep res;
     const uint64_t planes_before = stats_.planes_processed;
+    const uint64_t planes_total_before = stats_.planes_total;
     const bool windowed = retention_.enabled();
     // The retention window is relative to the stream AS THE QUERY
     // SEES IT — tokens 0..qpos — not to the append frontier. During
@@ -188,6 +235,19 @@ DecodeEngine::runGroup(const KvCache &cache, int qpos, int order_len,
             heads_[static_cast<std::size_t>(gi)].retained.size());
     }
     res.planes = stats_.planes_processed - planes_before;
+    if constexpr (obs::kTelemetryEnabled) {
+        DecodeMetrics &m = DecodeMetrics::get();
+        // Per-query-head totals, matching PruneStats semantics: the
+        // prune ratio is 1 - planes_consumed / planes_total and the
+        // retention ratio keys_retained / keys_scanned, both
+        // recoverable from any snapshot delta.
+        m.keys_scanned.add(static_cast<uint64_t>(res.keys) *
+                           static_cast<uint64_t>(g));
+        m.keys_retained.add(static_cast<uint64_t>(res.retained));
+        m.planes_consumed.add(res.planes);
+        m.planes_total.add(stats_.planes_total -
+                           planes_total_before);
+    }
 
     // ISTA value stage per head, tiled by Bc in scan order — the
     // identical float sequence to padeAttention's

@@ -2,7 +2,43 @@
 
 #include <algorithm>
 
+#include "obs/telemetry.h"
+
 namespace pade {
+
+namespace {
+
+// Byte-flow telemetry (docs/OBSERVABILITY.md): where KV memory goes —
+// appended privately, aliased from the prefix index, or reclaimed by
+// eviction. Page-granular by design: bytes move at page granularity
+// (a page's storage is committed when the page opens).
+struct KvMetrics
+{
+    obs::Counter &tokens_appended;
+    obs::Counter &pages_opened;
+    obs::Counter &bytes_appended;
+    obs::Counter &pages_adopted;
+    obs::Counter &bytes_shared;
+    obs::Counter &pages_reclaimed;
+    obs::Counter &bytes_reclaimed;
+
+    static KvMetrics &
+    get()
+    {
+        static KvMetrics m{
+            obs::Registry::instance().counter("kv.tokens_appended"),
+            obs::Registry::instance().counter("kv.pages_opened"),
+            obs::Registry::instance().counter("kv.bytes_appended"),
+            obs::Registry::instance().counter("kv.pages_adopted"),
+            obs::Registry::instance().counter("kv.bytes_shared"),
+            obs::Registry::instance().counter("kv.pages_reclaimed"),
+            obs::Registry::instance().counter("kv.bytes_reclaimed"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 KvPage::KvPage(const KvCacheConfig &config)
     : cfg(config), planes(config.head_dim, config.bits,
@@ -44,7 +80,13 @@ KvCache::appendToken(std::span<const int8_t> k_row,
     if (!tail_ || tail_->full()) {
         tail_ = std::make_shared<KvPage>(cfg_);
         pages_.push_back(tail_);
+        if constexpr (obs::kTelemetryEnabled) {
+            KvMetrics::get().pages_opened.add(1);
+            KvMetrics::get().bytes_appended.add(kvPageBytes(*tail_));
+        }
     }
+    if constexpr (obs::kTelemetryEnabled)
+        KvMetrics::get().tokens_appended.add(1);
     KvPage &page = *tail_;
 
     const int row = page.used();
@@ -83,6 +125,10 @@ KvCache::adoptSharedPage(std::shared_ptr<const KvPage> page)
     PADE_CHECK_EQ(page->cfg.muxes, cfg_.muxes);
     PADE_CHECK(page->cfg.v_scale == cfg_.v_scale);
 
+    if constexpr (obs::kTelemetryEnabled) {
+        KvMetrics::get().pages_adopted.add(1);
+        KvMetrics::get().bytes_shared.add(kvPageBytes(*page));
+    }
     pages_.push_back(std::move(page));
     tail_.reset(); // the back page is shared: never writable
     tokens_ += cfg_.page_tokens;
@@ -113,6 +159,13 @@ KvCache::dropPagesBefore(int token)
     while (first_live_page_ < target && !pages_.empty()) {
         if (pages_.front().get() == tail_.get())
             tail_.reset(); // evicting the append frontier itself
+        if constexpr (obs::kTelemetryEnabled) {
+            if (pages_.front()) {
+                KvMetrics::get().pages_reclaimed.add(1);
+                KvMetrics::get().bytes_reclaimed.add(
+                    kvPageBytes(*pages_.front()));
+            }
+        }
         pages_.pop_front();
         first_live_page_++;
     }
@@ -134,9 +187,18 @@ KvCache::dropPagesIn(int first_token, int last_token)
     const int end_page = last / cfg_.page_tokens; // exclusive
     const int lo = std::max(first_page, first_live_page_);
     const int hi = std::min(end_page, numPages() - 1);
-    for (int p = lo; p < hi; p++)
-        pages_[static_cast<std::size_t>(p - first_live_page_)]
-            .reset();
+    for (int p = lo; p < hi; p++) {
+        auto &slot =
+            pages_[static_cast<std::size_t>(p - first_live_page_)];
+        if constexpr (obs::kTelemetryEnabled) {
+            if (slot) {
+                KvMetrics::get().pages_reclaimed.add(1);
+                KvMetrics::get().bytes_reclaimed.add(
+                    kvPageBytes(*slot));
+            }
+        }
+        slot.reset();
+    }
 }
 
 int

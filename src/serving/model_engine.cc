@@ -1,11 +1,56 @@
 #include "serving/model_engine.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "runtime/thread_pool.h"
 
 namespace pade {
+
+namespace {
+
+// Pipeline-utilization telemetry (ROADMAP item 2, now observable):
+// every pipelined round records the wall time the *width* of the
+// round could have used (min(pool threads, flights) x round wall) and
+// the time its units actually computed. The bubble ratio of any
+// snapshot delta is then
+//     1 - model.unit_busy_us / model.round_capacity_us
+// — 0 when every lane of every round was full, approaching 1 as the
+// pipeline starves (fill/drain phases, cores > flights).
+struct ModelMetrics
+{
+    obs::Counter &rounds;
+    obs::Counter &units;
+    obs::Counter &unit_busy_us;
+    obs::Counter &round_capacity_us;
+
+    static ModelMetrics &
+    get()
+    {
+        static ModelMetrics m{
+            obs::Registry::instance().counter("model.rounds"),
+            obs::Registry::instance().counter("model.units"),
+            obs::Registry::instance().counter("model.unit_busy_us"),
+            obs::Registry::instance().counter(
+                "model.round_capacity_us"),
+        };
+        return m;
+    }
+};
+
+int64_t
+microsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
 
 ModelEngine::ModelEngine(const ModelEngineConfig &cfg,
                          std::span<const float> v_scales,
@@ -131,15 +176,38 @@ ModelEngine::advance(ThreadPool *pool)
     // Ages are pairwise distinct (strictly decreasing front to back),
     // so the units touch disjoint engines/buffers — see file comment.
     const int n = static_cast<int>(flight_.size());
+    const obs::ScopedSpan round_span("model.round",
+                                     {{"flights", n}});
     const auto unit = [&](int i) {
         Flight &f = flight_[static_cast<std::size_t>(i)];
-        runUnit(f, f.age, pool);
+        if constexpr (obs::kTelemetryEnabled) {
+            const obs::ScopedSpan span(
+                "model.unit", {{"layer", f.age}, {"pos", f.job.pos}});
+            const auto t0 = std::chrono::steady_clock::now();
+            runUnit(f, f.age, pool);
+            ModelMetrics::get().unit_busy_us.add(
+                static_cast<uint64_t>(microsSince(t0)));
+        } else {
+            runUnit(f, f.age, pool);
+        }
     };
-    if (pool && pool->threadCount() > 1 && n > 1)
+    const bool fanout = pool && pool->threadCount() > 1 && n > 1;
+    const auto round_t0 = std::chrono::steady_clock::now();
+    if (fanout)
         parallelFor(*pool, n, unit);
     else
         for (int i = 0; i < n; i++)
             unit(i);
+    if constexpr (obs::kTelemetryEnabled) {
+        ModelMetrics &m = ModelMetrics::get();
+        const int width =
+            fanout ? std::min(pool->threadCount(), n) : 1;
+        m.rounds.add(1);
+        m.units.add(static_cast<uint64_t>(n));
+        m.round_capacity_us.add(
+            static_cast<uint64_t>(width) *
+            static_cast<uint64_t>(microsSince(round_t0)));
+    }
 
     // Post-barrier, on the caller: age everyone, retire the front
     // when its last layer just ran. At most one token can retire per

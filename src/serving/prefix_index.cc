@@ -3,8 +3,41 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/telemetry.h"
 
 namespace pade {
+
+namespace {
+
+// Registry mirror of PrefixIndexStats (docs/OBSERVABILITY.md): the
+// struct is per-index and handed back via stats(); these counters
+// fold every index in the process into the one stats snapshot the
+// batcher exports.
+struct PrefixMetrics
+{
+    obs::Counter &lookups;
+    obs::Counter &hit_pages;
+    obs::Counter &miss_lookups;
+    obs::Counter &published;
+    obs::Counter &rejected;
+    obs::Counter &evictions;
+
+    static PrefixMetrics &
+    get()
+    {
+        static PrefixMetrics m{
+            obs::Registry::instance().counter("prefix.lookups"),
+            obs::Registry::instance().counter("prefix.hit_pages"),
+            obs::Registry::instance().counter("prefix.miss_lookups"),
+            obs::Registry::instance().counter("prefix.published"),
+            obs::Registry::instance().counter("prefix.rejected"),
+            obs::Registry::instance().counter("prefix.evictions"),
+        };
+        return m;
+    }
+};
+
+} // namespace
 
 PrefixIndex::PrefixIndex(PrefixIndexOptions opt) : opt_(opt)
 {
@@ -51,6 +84,13 @@ PrefixIndex::acquire(std::span<const uint64_t> chain)
     stats_.hit_pages += static_cast<uint64_t>(match.pages);
     if (match.pages == 0)
         stats_.miss_lookups++;
+    if constexpr (obs::kTelemetryEnabled) {
+        PrefixMetrics &m = PrefixMetrics::get();
+        m.lookups.add(1);
+        m.hit_pages.add(static_cast<uint64_t>(match.pages));
+        if (match.pages == 0)
+            m.miss_lookups.add(1);
+    }
     return match;
 }
 
@@ -111,6 +151,8 @@ PrefixIndex::publish(
             stats_.bytes += node->bytes;
             stats_.nodes++;
             stats_.published++;
+            if constexpr (obs::kTelemetryEnabled)
+                PrefixMetrics::get().published.add(1);
             fresh++;
             it = level->emplace(chain[d], std::move(node)).first;
         } else {
@@ -119,6 +161,8 @@ PrefixIndex::publish(
             // already attests content equality; re-registering is a
             // no-op beyond the LRU touch.
             stats_.rejected++;
+            if constexpr (obs::kTelemetryEnabled)
+                PrefixMetrics::get().rejected.add(1);
             it->second->last_use = tick_;
         }
         parent = it->second.get();
@@ -160,6 +204,8 @@ PrefixIndex::evictToBudget()
         stats_.bytes -= victim->bytes;
         stats_.nodes--;
         stats_.evictions++;
+        if constexpr (obs::kTelemetryEnabled)
+            PrefixMetrics::get().evictions.add(1);
         auto *level =
             victim->parent ? &victim->parent->children : &roots_;
         level->erase(victim->key);

@@ -728,6 +728,23 @@ TEST(Percentiles, NearestRankOnKnownSet)
     EXPECT_DOUBLE_EQ(p.p50, 50.0);
     EXPECT_DOUBLE_EQ(p.p95, 95.0);
     EXPECT_DOUBLE_EQ(p.p99, 99.0);
+    // Below 1000 samples the 0.999 nearest rank is the last sample.
+    EXPECT_DOUBLE_EQ(p.p999, 100.0);
+    EXPECT_DOUBLE_EQ(p.mean, 50.5);
+    EXPECT_DOUBLE_EQ(p.max, 100.0);
+    EXPECT_EQ(p.count, 100);
+}
+
+TEST(Percentiles, P999SeparatesFromMaxAtScale)
+{
+    // 2000 samples 1..2000: nearest rank ceil(0.999 * 2000) = 1998.
+    std::vector<double> v;
+    for (int i = 1; i <= 2000; i++)
+        v.push_back(static_cast<double>(i));
+    const Percentiles p = Percentiles::of(v);
+    EXPECT_DOUBLE_EQ(p.p999, 1998.0);
+    EXPECT_DOUBLE_EQ(p.max, 2000.0);
+    EXPECT_EQ(p.count, 2000);
 }
 
 TEST(Percentiles, SmallAndEmptySets)
@@ -736,16 +753,27 @@ TEST(Percentiles, SmallAndEmptySets)
     EXPECT_EQ(empty.p50, 0.0);
     EXPECT_EQ(empty.p95, 0.0);
     EXPECT_EQ(empty.p99, 0.0);
+    EXPECT_EQ(empty.p999, 0.0);
+    EXPECT_EQ(empty.mean, 0.0);
+    EXPECT_EQ(empty.max, 0.0);
+    EXPECT_EQ(empty.count, 0);
 
     const std::vector<double> one = {42.0};
     const Percentiles p1 = Percentiles::of(one);
     EXPECT_DOUBLE_EQ(p1.p50, 42.0);
     EXPECT_DOUBLE_EQ(p1.p99, 42.0);
+    EXPECT_DOUBLE_EQ(p1.p999, 42.0);
+    EXPECT_DOUBLE_EQ(p1.mean, 42.0);
+    EXPECT_DOUBLE_EQ(p1.max, 42.0);
+    EXPECT_EQ(p1.count, 1);
 
     const std::vector<double> two = {10.0, 20.0};
     const Percentiles p2 = Percentiles::of(two);
     EXPECT_DOUBLE_EQ(p2.p50, 10.0);
     EXPECT_DOUBLE_EQ(p2.p95, 20.0);
+    EXPECT_DOUBLE_EQ(p2.mean, 15.0);
+    EXPECT_DOUBLE_EQ(p2.max, 20.0);
+    EXPECT_EQ(p2.count, 2);
 }
 
 } // namespace
