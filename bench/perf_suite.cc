@@ -4,7 +4,7 @@
  * machine-readable BENCH_perf.json so the performance trajectory is
  * visible across PRs (CI uploads the file as an artifact).
  *
- * Eight stages are measured:
+ * Nine stages are measured:
  *  1. QK scoring kernel — the three-way kernel comparison (scalar
  *     ctz-walk oracle, word-parallel popcount, AVX2 SIMD backend)
  *     across {seq, bits, head_dim} points, including the
@@ -42,7 +42,21 @@
  *     timed with trace-span recording off (metric counters only, the
  *     permanent registry cost) and on (ring-buffered round/unit
  *     spans); the delta is the observability tax and must stay under
- *     2% (docs/OBSERVABILITY.md).
+ *     2% (docs/OBSERVABILITY.md);
+ *  9. cross-session co-scheduling + windowed decode — (a) serving
+ *     traces through the ContinuousBatcher with the per-session
+ *     nested fan-out vs the global round co-scheduler at slots=8 /
+ *     layers=2 / threads=8, two rows: a scheduling-bound shape
+ *     (near-free units, so the wall ratio isolates the fan-out
+ *     machinery — the co <= 0.6x acceptance row) and the
+ *     examples/batch_serving shape (compute-bound; the bubble-ratio
+ *     contrast, whose `bubble_ratio_coscheduled` is the committed
+ *     baseline the telemetry CI job gates batch_serving runs
+ *     against); both rows assert the bit-identical checksum match;
+ *     and (b) the window-aware decode scan order — per-token decode
+ *     cost of a layer under a sink+recency retention window at
+ *     context 4096 vs 16384, which must stay flat (the scan and its
+ *     scratch clearing are O(window), not O(context)).
  *
  * Flags: --quick (CI smoke: fewer/smaller points), --reps=N best-of
  * repetitions (default 3), --out=FILE (default BENCH_perf.json),
@@ -192,18 +206,24 @@ struct GqaDecodeCost
 /**
  * Per-token decode cost of one whole layer: prefill ctx tokens
  * (untimed), then time `steps` rounds of KV append + grouped decode
- * across every head, best of `reps` fresh engines.
+ * across every head, best of `reps` fresh engines. An enabled
+ * @p retention policy windows the decode scan (section 9b measures
+ * its context-independence with it).
  */
 GqaDecodeCost
 measureGqaDecode(int heads, int kv_heads, int ctx, int steps, int reps,
-                 int64_t &checksum)
+                 int64_t &checksum, RetentionPolicy retention = {})
 {
+    // A few untimed decode steps absorb one-time costs (grow-once
+    // decode scratch sized to the stream) so the timed region sees
+    // steady-state us/token.
+    const int warmup = 4;
     LayerSpec spec;
     spec.heads = heads;
     spec.kv_heads = kv_heads;
     spec.head_dim = 128;
     spec.prompt_len = ctx;
-    spec.decode_steps = steps;
+    spec.decode_steps = warmup + steps;
     spec.seed = 42;
     const LayerWorkload lw = generateLayerWorkload(spec);
 
@@ -211,6 +231,7 @@ measureGqaDecode(int heads, int kv_heads, int ctx, int steps, int reps,
     lc.heads = heads;
     lc.kv_heads = kv_heads;
     lc.head_dim = spec.head_dim;
+    lc.retention = retention;
 
     std::vector<float> v_scales;
     std::vector<float> logit_scales;
@@ -231,9 +252,18 @@ measureGqaDecode(int heads, int kv_heads, int ctx, int steps, int reps,
             lw.stageKv(pos, k_stage, v_stage);
             layer.appendToken(k_stage, v_stage);
         }
+        for (int t = 0; t < warmup; t++) {
+            const int pos = ctx + t;
+            lw.stageKv(pos, k_stage, v_stage);
+            lw.stageQueries(pos, q_stage);
+            layer.appendToken(k_stage, v_stage);
+            const LayerStep st =
+                layer.decode(q_stage, logit_scales, out);
+            checksum += st.retained;
+        }
         const auto t0 = std::chrono::steady_clock::now();
         for (int t = 0; t < steps; t++) {
-            const int pos = ctx + t;
+            const int pos = ctx + warmup + t;
             lw.stageKv(pos, k_stage, v_stage);
             lw.stageQueries(pos, q_stage);
             layer.appendToken(k_stage, v_stage);
@@ -367,7 +397,7 @@ main(int argc, char **argv)
     //    SIMD backend targets (ISSUE 3 acceptance: >= 1.5x over
     //    popcount there).
     // ------------------------------------------------------------------
-    std::printf("\n[1/8] QK scoring kernel (exactDot over all pairs; "
+    std::printf("\n[1/9] QK scoring kernel (exactDot over all pairs; "
                 "simd %s)\n",
                 qkSimdAvailable() ? "available" : "UNAVAILABLE");
     Table t1;
@@ -448,7 +478,7 @@ main(int argc, char **argv)
     //    workspace. kSimd silently resolves to kPopcount when the
     //    backend is unavailable (the two columns then read the same).
     // ------------------------------------------------------------------
-    std::printf("\n[2/8] padeAttention (guarded, workspace reuse)\n");
+    std::printf("\n[2/9] padeAttention (guarded, workspace reuse)\n");
     Table t2;
     t2.header({"seq", "scalar ms", "popcount ms", "simd ms",
                "simd/scalar", "keep rate"});
@@ -492,7 +522,7 @@ main(int argc, char **argv)
     // ------------------------------------------------------------------
     // 3. Reference attention (cache-blocked matmul path + flash).
     // ------------------------------------------------------------------
-    std::printf("\n[3/8] reference attention (oracle path)\n");
+    std::printf("\n[3/9] reference attention (oracle path)\n");
     Table t3;
     t3.header({"seq", "queries", "dense ms", "flash ms"});
     json.openArray("reference");
@@ -528,7 +558,7 @@ main(int argc, char **argv)
     // ------------------------------------------------------------------
     // 4. Batch-driver sweep across {seq, bits, concentration}.
     // ------------------------------------------------------------------
-    std::printf("\n[4/8] batch-driver sweep (%d workers)\n",
+    std::printf("\n[4/9] batch-driver sweep (%d workers)\n",
                 sweep_threads);
     std::vector<BatchItem> sweep;
     for (int seq : quick ? std::vector<int>{2048}
@@ -567,7 +597,7 @@ main(int argc, char **argv)
     //    re-pack cost is O(context); the total step cost additionally
     //    carries the O(context) guarded scan both paths share.
     // ------------------------------------------------------------------
-    std::printf("\n[5/8] serving decode (incremental KvCache vs "
+    std::printf("\n[5/9] serving decode (incremental KvCache vs "
                 "re-pack)\n");
     Table t5;
     t5.header({"ctx", "append us/tok", "cached us/tok",
@@ -614,7 +644,7 @@ main(int argc, char **argv)
     //    across the group (acceptance: the 8:1 ratio sits measurably
     //    below 1.0), and KV residency scales with kv_heads.
     // ------------------------------------------------------------------
-    std::printf("\n[6/8] GQA layer decode (8 query heads, shared KV "
+    std::printf("\n[6/9] GQA layer decode (8 query heads, shared KV "
                 "caches)\n");
     Table t6;
     t6.header({"heads", "kv", "ratio", "ctx", "layer us/tok",
@@ -669,7 +699,7 @@ main(int argc, char **argv)
     //    ContinuousBatcher (adopted tokens + KV bytes saved; the
     //    checksums must match bit for bit, cache on or off).
     // ------------------------------------------------------------------
-    std::printf("\n[7/8] model serving (pipelined layers, prefix "
+    std::printf("\n[7/9] model serving (pipelined layers, prefix "
                 "cache)\n");
     Table t7;
     t7.header({"layers", "serial us/tok", "pipelined us/tok",
@@ -806,7 +836,7 @@ main(int argc, char **argv)
     //    PADE_TELEMETRY=OFF build compiles both paths to no-ops, so
     //    `telemetry_compiled` records which regime this run measured.
     // ------------------------------------------------------------------
-    std::printf("\n[8/8] telemetry overhead (spans off vs on; compiled "
+    std::printf("\n[8/9] telemetry overhead (spans off vs on; compiled "
                 "%s)\n",
                 obs::kTelemetryEnabled ? "ON" : "OFF");
     {
@@ -848,6 +878,222 @@ main(int argc, char **argv)
         json.field("trace_events_recorded",
                    static_cast<int64_t>(tstats.recorded));
         json.close();
+    }
+
+    // ------------------------------------------------------------------
+    // 9. Cross-session co-scheduling + windowed decode: (a) one
+    //    serving trace through the per-session nested fan-out vs the
+    //    global round co-scheduler at slots=8 / layers=2 / threads=8
+    //    — wall, bubble ratio both ways (same counters, so the two
+    //    figures are directly comparable), bit-identical checksums;
+    //    (b) windowed decode cost at context 4096 vs 16384 under a
+    //    64-sink / 512-recency window — flat, because the scan order
+    //    and its scratch clearing are O(window).
+    // ------------------------------------------------------------------
+    std::printf("\n[9/9] co-scheduling (slots=8, layers=2, threads=8) "
+                "+ windowed decode\n");
+    {
+        // Two A/B rows, both at slots=8 / layers=2 / threads=8:
+        //
+        //  - scheduling_bound: units deliberately near-free (eight
+        //    dim-4 heads, 2-bit keys, a 16-token retention window
+        //    keeping every decode scan O(window)) so the row isolates
+        //    the fan-out machinery itself — per-session mode pays one
+        //    nested parallelFor per engine round per session plus an
+        //    8-wide KV-head reduction fan-out per unit, the
+        //    co-scheduler one hardware-clamped wave per global round.
+        //    This is the wall-clock acceptance row (co <= 0.6x
+        //    per-session).
+        //  - serving: the exact examples/batch_serving trace and
+        //    geometry, where compute dominates and the wall gap
+        //    narrows, but the per-session schedule strands the lanes
+        //    it asks for whenever few sessions are resident — the
+        //    bubble-ratio contrast. `bubble_ratio_coscheduled` of
+        //    this row is the committed baseline the telemetry CI job
+        //    gates batch_serving --slots 8 --layers 2 --threads 8
+        //    runs against.
+        struct CoschedShape
+        {
+            const char *name;
+            TraceSpec ts;
+            BatcherOptions opt;
+            /** Reps beyond the global --reps for this row. The
+             *  scheduling-bound row is cheap (~100 ms/arm) and its
+             *  ratio IS the acceptance figure, so it buys extra
+             *  noise suppression. */
+            int extra_reps = 0;
+        };
+        std::vector<CoschedShape> shapes;
+        {
+            CoschedShape sched;
+            sched.name = "scheduling_bound";
+            sched.ts.num_requests = quick ? 16 : 32;
+            sched.ts.rate_per_s = 4000.0;
+            sched.ts.prompt_min = 8;
+            sched.ts.prompt_max = 16;
+            sched.ts.decode_min = quick ? 64 : 128;
+            sched.ts.decode_max = quick ? 128 : 256;
+            sched.ts.seed = 777;
+            sched.opt.prefill_chunk = 8;
+            // Many tiny KV heads: per-session mode pays its nested
+            // KV-head reduction fan-out 8 lanes wide per unit while
+            // the unit's compute (8 x dim-4 2-bit rows over a
+            // 16-token window) stays near-free — the geometry that
+            // maximizes scheduling overhead per unit of work.
+            sched.opt.heads = 8;
+            sched.opt.kv_heads = 8;
+            sched.opt.head_dim = 4;
+            sched.opt.bits = 2;
+            sched.opt.page_tokens = 16;
+            sched.opt.retention.sink_tokens = 4;
+            sched.opt.retention.recency_tokens = 12;
+            sched.extra_reps = 5;
+            shapes.push_back(sched);
+
+            CoschedShape serving;
+            serving.name = "serving";
+            serving.ts.num_requests = quick ? 12 : 24;
+            serving.ts.rate_per_s = 200.0;
+            serving.ts.prompt_min = 64;
+            serving.ts.prompt_max = 512;
+            serving.ts.decode_min = 8;
+            serving.ts.decode_max = 48;
+            serving.ts.prefix_groups = 2;
+            serving.ts.prefix_tokens = 128;
+            serving.ts.seed = 42;
+            serving.opt.prefill_chunk = 128;
+            serving.opt.heads = 1;
+            serving.opt.kv_heads = 1;
+            serving.opt.head_dim = 64;
+            serving.opt.page_tokens = 64;
+            serving.opt.prefix_cache = true;
+            shapes.push_back(serving);
+        }
+
+        Table t9a;
+        t9a.header({"shape", "per-session ms", "co-scheduled ms",
+                    "co/per", "bubble per", "bubble co"});
+        json.openArray("coschedule");
+        for (CoschedShape &shape : shapes) {
+            shape.opt.threads = 8;
+            shape.opt.max_active = 8;
+            shape.opt.layers = 2;
+            const std::vector<ServingRequest> trace =
+                poissonArrivalTrace(shape.ts);
+
+            // Interleaved A/B reps (per, co, per, co, ...): a noisy
+            // window on the host — throttling, a neighbor VM — lands
+            // on both arms instead of whichever happened to run
+            // inside it. Best-of per arm, keeping the fastest run's
+            // report (its bubble ratio is the least noise-polluted).
+            ServingReport per;
+            ServingReport co;
+            double per_ms = 0.0;
+            double co_ms = 0.0;
+            const int ab_reps = std::max(1, reps) + shape.extra_reps;
+            for (int r = 0; r < ab_reps; r++) {
+                shape.opt.coschedule = false;
+                const ServingReport p =
+                    ContinuousBatcher(shape.opt).run(trace);
+                shape.opt.coschedule = true;
+                const ServingReport c =
+                    ContinuousBatcher(shape.opt).run(trace);
+                if (r == 0 || p.wall_ms < per_ms) {
+                    per_ms = p.wall_ms;
+                    per = p;
+                }
+                if (r == 0 || c.wall_ms < co_ms) {
+                    co_ms = c.wall_ms;
+                    co = c;
+                }
+            }
+            checksum += static_cast<int64_t>(co.checksum & 0xffff);
+
+            const bool match = per.checksum == co.checksum &&
+                per.prefill_checksum == co.prefill_checksum &&
+                per.peak_cache_bytes == co.peak_cache_bytes;
+            if (!match)
+                std::fprintf(stderr,
+                             "co-scheduler changed outputs (BUG)\n");
+            t9a.row({shape.name, Table::num(per_ms, 1),
+                     Table::num(co_ms, 1),
+                     Table::num(co_ms / per_ms, 2),
+                     Table::num(per.pipeline_bubble_ratio, 3),
+                     Table::num(co.pipeline_bubble_ratio, 3)});
+
+            json.openObject();
+            json.str("shape", shape.name);
+            json.field("requests",
+                       static_cast<int64_t>(trace.size()));
+            json.field("slots",
+                       static_cast<int64_t>(shape.opt.max_active));
+            json.field("layers",
+                       static_cast<int64_t>(shape.opt.layers));
+            json.field("threads",
+                       static_cast<int64_t>(shape.opt.threads));
+            json.field("per_session_wall_ms", per_ms);
+            json.field("coscheduled_wall_ms", co_ms);
+            json.field("speedup_co_vs_per_session", per_ms / co_ms);
+            json.field("wall_ratio_co_vs_per_session",
+                       co_ms / per_ms);
+            json.field("bubble_ratio_per_session",
+                       per.pipeline_bubble_ratio);
+            json.field("bubble_ratio_coscheduled",
+                       co.pipeline_bubble_ratio);
+            json.field("checksum_match",
+                       std::string(match ? "true" : "false"));
+            json.close();
+        }
+        json.close(true);
+        t9a.print();
+    }
+    {
+        RetentionPolicy rp;
+        rp.sink_tokens = 64;
+        rp.recency_tokens = 512;
+        // Enough timed steps that per-step jitter averages out — the
+        // flatness claim compares two ~50 us/token measurements.
+        const int win_steps = quick ? 32 : 96;
+        Table t9;
+        t9.header({"ctx", "window", "decode us/tok"});
+        json.openArray("windowed_decode");
+        // Interleave the two contexts across reps (4k, 16k, 4k, ...)
+        // for the same reason section 9a interleaves its arms: the
+        // flatness ratio must compare like conditions, not whichever
+        // context drew the quiet window.
+        const int ctxs[2] = {4096, 16384};
+        double best_us[2] = {0.0, 0.0};
+        for (int r = 0; r < std::max(1, reps); r++) {
+            for (int i = 0; i < 2; i++) {
+                const GqaDecodeCost c = measureGqaDecode(
+                    1, 1, ctxs[i], win_steps, 1, checksum, rp);
+                if (r == 0 || c.layer_us_per_tok < best_us[i])
+                    best_us[i] = c.layer_us_per_tok;
+            }
+        }
+        const double us_small = best_us[0];
+        const double us_large = best_us[1];
+        for (int i = 0; i < 2; i++) {
+            t9.row({std::to_string(ctxs[i]),
+                    std::to_string(rp.sink_tokens + rp.recency_tokens),
+                    Table::num(best_us[i], 1)});
+            json.openObject();
+            json.field("ctx", static_cast<int64_t>(ctxs[i]));
+            json.field("sink_tokens",
+                       static_cast<int64_t>(rp.sink_tokens));
+            json.field("recency_tokens",
+                       static_cast<int64_t>(rp.recency_tokens));
+            json.field("decode_us_per_tok", best_us[i]);
+            json.close();
+        }
+        json.close(true);
+        t9.print();
+        const double flatness =
+            us_large / std::max(us_small, 1e-9);
+        std::printf("windowed decode us/tok at 16384 vs 4096 ctx: "
+                    "%.2fx (flat target: within 10%%)\n",
+                    flatness);
+        json.field("windowed_decode_flatness_16k_vs_4k", flatness);
     }
 
     json.field("checksum", checksum);

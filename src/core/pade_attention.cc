@@ -1,5 +1,6 @@
 #include "core/pade_attention.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "core/bui.h"
@@ -45,6 +46,54 @@ istaScanOrderInto(int seq_len, int tile, bool head_tail,
     while (head <= tail) {
         pushTile(take_head ? head++ : tail--);
         take_head = !take_head;
+    }
+}
+
+void
+istaScanOrderInto(int seq_len, int tile, bool head_tail,
+                  int sink_tokens, int window_start,
+                  std::vector<int> &out)
+{
+    assert(tile > 0);
+    const int sink = std::clamp(sink_tokens, 0, seq_len);
+    const int win = std::clamp(window_start, 0, seq_len);
+    const int num_tiles = (seq_len + tile - 1) / tile;
+    // Live tiles form a prefix [0, head_live) — tiles touching the
+    // pinned sinks — plus a suffix [tail_live, num_tiles) — tiles
+    // touching the recency window. Everything between is dead and the
+    // walk below never visits it. When the ranges overlap
+    // (tail_live < head_live) every tile is live.
+    const int head_live = (sink + tile - 1) / tile;
+    const int tail_live = win < seq_len ? win / tile : num_tiles;
+    out.clear();
+    const auto pushTile = [&](int t) {
+        const int lo = t * tile;
+        const int hi = std::min(seq_len, lo + tile);
+        for (int j = lo; j < hi; j++)
+            if (j < sink || j >= win)
+                out.push_back(j);
+    };
+    if (!head_tail) {
+        for (int t = 0; t < head_live; t++)
+            pushTile(t);
+        for (int t = std::max(head_live, tail_live); t < num_tiles; t++)
+            pushTile(t);
+        return;
+    }
+    // Same alternating cursor walk as the full order so live tiles
+    // appear in identical relative order; dead tiles are skipped, and
+    // once both cursors sit in the dead middle nothing further can be
+    // emitted.
+    int head = 0;
+    int tail = num_tiles - 1;
+    bool take_head = true;
+    while (head <= tail) {
+        if (head >= head_live && tail < tail_live)
+            break;
+        const int t = take_head ? head++ : tail--;
+        take_head = !take_head;
+        if (t < head_live || t >= tail_live)
+            pushTile(t);
     }
 }
 

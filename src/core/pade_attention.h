@@ -160,6 +160,22 @@ void istaScanOrderInto(int seq_len, int tile, bool head_tail,
                        std::vector<int> &out);
 
 /**
+ * Live-range overload for retention-windowed decode: the scan order
+ * restricted to a StreamingLLM live set — keys j with
+ * j < @p sink_tokens or j >= @p window_start — emitted as exactly the
+ * subsequence of istaScanOrder(seq_len, tile, head_tail) those keys
+ * form. A windowed scan is therefore bit-identical to walking the
+ * full order with a per-key liveness skip, while generation costs
+ * O(live keys + live tiles) instead of O(seq_len): dead middle tiles
+ * are never visited (the head/tail walk stops once both cursors sit
+ * in the dead range). window_start <= 0 (nothing evictable yet)
+ * reproduces the full order verbatim.
+ */
+void istaScanOrderInto(int seq_len, int tile, bool head_tail,
+                       int sink_tokens, int window_start,
+                       std::vector<int> &out);
+
+/**
  * Run PADE sparse attention on one quantized head.
  *
  * Exactness contract: keys that survive all bit planes have exact

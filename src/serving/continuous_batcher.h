@@ -7,7 +7,14 @@
  * are admitted into a bounded set of active *sessions*, and every
  * scheduling round advances each active session by one unit of work —
  * workload materialization, a scored prefill chunk, or one decoded
- * token — fanned across a ThreadPool. Finished sessions are evicted
+ * token — fanned across a ThreadPool. By default the fan-out is
+ * *co-scheduled* (`BatcherOptions::coschedule`): the round collects
+ * every session's ready pipeline units into one flat list per wave
+ * and runs a single pool-wide parallelFor over all of them, so the
+ * host saturates on sessions x layers units even when each session
+ * alone could not fill it; the per-session nested-parallelFor
+ * schedule remains available as the differential oracle and is
+ * bit-identical by construction. Finished sessions are evicted
  * immediately (their KV pages freed), opening the slot for the next
  * queued request: the continuous-batching discipline, as opposed to
  * static batching where a batch drains at the pace of its longest
@@ -94,6 +101,21 @@ struct BatcherOptions
     /** false = serial layer-by-layer schedule (the reference the
      *  pipelined engine is differentially tested against). */
     bool pipeline = true;
+    /**
+     * Cross-session round co-scheduling: merge every active session's
+     * ready pipeline units into one flat list per wave and fan the
+     * whole fleet through a SINGLE parallelFor, instead of one nested
+     * parallelFor per session per engine round. Keeps wide hosts full
+     * when any one session can only expose `layers` units, and
+     * replaces sessions x rounds barriers per batcher round with
+     * rounds barriers. Bit-identical to per-session scheduling for
+     * any thread/slot count — units of distinct sessions touch
+     * disjoint state, and each engine still sees exactly its own
+     * round sequence (the ModelEngine collectUnits()/completeRound()
+     * contract). false = the per-session schedule, kept as the
+     * differential oracle.
+     */
+    bool coschedule = true;
     /** Share full prefix KV pages across sessions via a PrefixIndex. */
     bool prefix_cache = false;
     /** Shared-page byte budget of the index; 0 = unbounded. */
@@ -175,8 +197,10 @@ struct ServingReport
     /** XOR of session prefill checksums: thread-count invariant. */
     uint64_t prefill_checksum = 0;
     /**
-     * Fraction of the run's pipeline round capacity (min(threads,
-     * flights) x round wall, summed) that no unit computed in:
+     * Fraction of the run's pipeline round capacity (round width x
+     * round wall, summed; width = workers the round could actually
+     * claim — pool occupancy-derived per-session, min(threads, units)
+     * for co-scheduled waves) that no unit computed in:
      * 1 - model.unit_busy_us / model.round_capacity_us over the run's
      * metric delta. 0 when the library was built without telemetry
      * (PADE_TELEMETRY=OFF) — the counters never move.

@@ -146,17 +146,10 @@ DecodeEngine::runGroup(const KvCache &cache, int qpos, int order_len,
         hs.bui = computeBuiTable(qs_[static_cast<std::size_t>(gi)],
                                  bits);
         hs.guard = GuardFilter(cfg_.alpha, cfg_.radius, logit_scale);
-        hs.planes.assign(static_cast<std::size_t>(order_len), 0);
-        hs.keep.assign(static_cast<std::size_t>(order_len), 0);
         hs.retained.clear();
         hs.retained_scores.clear();
     }
 
-    istaScanOrderInto(order_len, cfg_.tile_bc, cfg_.head_tail, order_);
-
-    DecodeStep res;
-    const uint64_t planes_before = stats_.planes_processed;
-    const uint64_t planes_total_before = stats_.planes_total;
     const bool windowed = retention_.enabled();
     // The retention window is relative to the stream AS THE QUERY
     // SEES IT — tokens 0..qpos — not to the append frontier. During
@@ -165,17 +158,67 @@ DecodeEngine::runGroup(const KvCache &cache, int qpos, int order_len,
     // independent of the chunking (and for decode, qpos + 1 == s).
     const int stream_len = qpos + 1;
 
+    // Scan order + planes/keep scratch. Full-history engines pay the
+    // O(order_len) order walk and scratch memset a batch padeAttention
+    // call would pay. Retention-windowed engines generate only the
+    // live subsequence (sink + recency, bit-identical to walking the
+    // full order with the per-key window skip) and, instead of
+    // clearing whole planes/keep spans, undo only the entries their
+    // own previous step could have written — every write lands inside
+    // that step's scan order, recorded in HeadState::touched — so the
+    // whole step is O(window), not O(context). The buffers stay
+    // full-length (grow-only, zero-filled) to preserve the
+    // lastPlanes()/lastKeep() contract that untouched tokens read 0.
+    if (!windowed) {
+        for (int gi = 0; gi < g; gi++) {
+            HeadState &hs = heads_[static_cast<std::size_t>(gi)];
+            hs.planes.assign(static_cast<std::size_t>(order_len), 0);
+            hs.keep.assign(static_cast<std::size_t>(order_len), 0);
+        }
+        istaScanOrderInto(order_len, cfg_.tile_bc, cfg_.head_tail,
+                          order_);
+    } else {
+        for (int gi = 0; gi < g; gi++) {
+            HeadState &hs = heads_[static_cast<std::size_t>(gi)];
+            for (int j : hs.touched) {
+                const auto sj = static_cast<std::size_t>(j);
+                if (sj < hs.planes.size()) {
+                    hs.planes[sj] = 0;
+                    hs.keep[sj] = 0;
+                }
+            }
+            if (static_cast<int>(hs.planes.size()) < order_len) {
+                hs.planes.resize(static_cast<std::size_t>(order_len),
+                                 0);
+                hs.keep.resize(static_cast<std::size_t>(order_len),
+                               0);
+            }
+        }
+        istaScanOrderInto(order_len, cfg_.tile_bc, cfg_.head_tail,
+                          retention_.sink_tokens,
+                          retention_.horizon(stream_len), order_);
+        // Conservative write-set: the scan below only writes at
+        // positions of order_ (causal/evicted skips leave zeros, and
+        // re-clearing a zero is harmless).
+        for (int gi = 0; gi < g; gi++)
+            heads_[static_cast<std::size_t>(gi)].touched.assign(
+                order_.begin(), order_.end());
+    }
+
+    DecodeStep res;
+    const uint64_t planes_before = stats_.planes_processed;
+    const uint64_t planes_total_before = stats_.planes_total;
+
     // The padeAttention inner loop, key-outer / query-head-inner: the
     // (page, row) mapping, the packed plane row, and the cached
     // PlaneWork entries are KV-head state — resolved once per key and
     // reused by every query head of the group. Skips (causal,
-    // evicted, outside the retention window) happen before any stats,
-    // exactly like padeAttention's causal skip.
+    // evicted) happen before any stats, exactly like padeAttention's
+    // causal skip; the retention window needs no skip here because a
+    // windowed order_ already excludes dead-middle keys.
     for (int j : order_) {
         if (j > qpos)
             continue; // causal / not yet prefilled
-        if (windowed && !retention_.keeps(j, stream_len))
-            continue; // outside the sink+recency window
         if (!cache.pageLive(cache.pageOf(j)))
             continue; // front-dropped or middle-reclaimed pages
         const int page = cache.pageOf(j);

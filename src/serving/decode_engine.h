@@ -44,6 +44,12 @@
  * `PadeConfig::qk_kernel` is resolved through `resolveQkKernel()`
  * every step, so kScalar / kPopcount / kSimd (and the PADE_QK_KERNEL
  * override) all apply unchanged.
+ *
+ * Complexity: a full-history step is O(context) (every cached token
+ * is scanned). A retention-windowed step is O(sink + recency) —
+ * independent of context length — because both the scan order and
+ * the scratch-clearing are generated over the live window only (see
+ * RetentionPolicy below); us/token stays flat as the stream grows.
  */
 
 #ifndef PADE_SERVING_DECODE_ENGINE_H
@@ -83,11 +89,17 @@ namespace pade {
  * or the stream is short. With sinks pinned in page 0, the policy
  * still skips the dead middle's *scoring* — the plane deltas, guard
  * checks, and PlaneWork accounting that dominate per-token cost.
- * Iteration itself is not yet windowed: each step still walks the
- * full-stream ISTA order and clears full-length planes/keep scratch,
- * an O(context) term with a small constant (skip test + memset per
- * token). A window-aware order generator would remove it; see the
- * ROADMAP follow-up.
+ *
+ * Iteration is windowed too: when the policy is active, each step
+ * generates only the live subsequence of the ISTA scan order (the
+ * sink/recency overload of istaScanOrderInto()) and clears only the
+ * scratch entries its previous step wrote, so per-token cost is
+ * O(sink + recency) regardless of context length — the dead middle
+ * costs nothing, not even a skip test or memset. The windowed order
+ * is the exact subsequence the full order's per-key window skip
+ * would visit, so outputs stay bit-identical to full-order decode,
+ * and bit-identical to an UN-windowed engine whenever the window
+ * covers the whole stream (the no-eviction parity test).
  */
 struct RetentionPolicy
 {
@@ -242,6 +254,11 @@ class DecodeEngine
         std::vector<int64_t> retained_scores;
         std::vector<uint8_t> planes;
         std::vector<uint8_t> keep;
+        /** Positions the last windowed step may have written into
+         *  planes/keep — what the next step must undo instead of a
+         *  full-length clear (unused by full-history engines, which
+         *  re-assign the whole span). */
+        std::vector<int> touched;
     };
 
     const HeadState &

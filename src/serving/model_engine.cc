@@ -150,65 +150,63 @@ ModelEngine::retire(Flight &&f)
     spares_.push_back(std::move(f));
 }
 
-bool
-ModelEngine::advance(ThreadPool *pool)
+int
+ModelEngine::collectUnits()
 {
+    PADE_CHECK(!round_open_);
     if (!cfg_.pipeline) {
-        // Serial reference schedule: one whole token, layer by layer.
+        // Serial reference schedule: one whole-token unit per round.
+        // (flight_ holds at most this one entry in serial mode.)
         if (queue_.empty())
-            return false;
-        Flight f = takeFlight(queue_.front());
+            return 0;
+        flight_.push_back(takeFlight(queue_.front()));
         queue_.pop_front();
-        for (int l = 0; l < cfg_.layers; l++)
-            runUnit(f, l, pool);
-        retire(std::move(f));
-        return true;
+        round_open_ = true;
+        return 1;
     }
-
     if (queue_.empty() && flight_.empty())
-        return false;
+        return 0;
     if (!queue_.empty()) {
         flight_.push_back(takeFlight(queue_.front()));
         queue_.pop_front();
     }
+    round_open_ = true;
+    return static_cast<int>(flight_.size());
+}
 
-    // The systolic round: every in-flight token at its own layer.
-    // Ages are pairwise distinct (strictly decreasing front to back),
-    // so the units touch disjoint engines/buffers — see file comment.
-    const int n = static_cast<int>(flight_.size());
-    const obs::ScopedSpan round_span("model.round",
-                                     {{"flights", n}});
-    const auto unit = [&](int i) {
-        Flight &f = flight_[static_cast<std::size_t>(i)];
-        if constexpr (obs::kTelemetryEnabled) {
-            const obs::ScopedSpan span(
-                "model.unit", {{"layer", f.age}, {"pos", f.job.pos}});
-            const auto t0 = std::chrono::steady_clock::now();
-            runUnit(f, f.age, pool);
-            ModelMetrics::get().unit_busy_us.add(
-                static_cast<uint64_t>(microsSince(t0)));
-        } else {
-            runUnit(f, f.age, pool);
-        }
-    };
-    const bool fanout = pool && pool->threadCount() > 1 && n > 1;
-    const auto round_t0 = std::chrono::steady_clock::now();
-    if (fanout)
-        parallelFor(*pool, n, unit);
-    else
-        for (int i = 0; i < n; i++)
-            unit(i);
-    if constexpr (obs::kTelemetryEnabled) {
-        ModelMetrics &m = ModelMetrics::get();
-        const int width =
-            fanout ? std::min(pool->threadCount(), n) : 1;
-        m.rounds.add(1);
-        m.units.add(static_cast<uint64_t>(n));
-        m.round_capacity_us.add(
-            static_cast<uint64_t>(width) *
-            static_cast<uint64_t>(microsSince(round_t0)));
+void
+ModelEngine::runCollectedUnit(int u, ThreadPool *pool)
+{
+    PADE_DCHECK(round_open_);
+    Flight &f = flight_[static_cast<std::size_t>(u)];
+    if (!cfg_.pipeline) {
+        for (int l = 0; l < cfg_.layers; l++)
+            runUnit(f, l, pool);
+        return;
     }
+    if constexpr (obs::kTelemetryEnabled) {
+        const obs::ScopedSpan span(
+            "model.unit", {{"layer", f.age}, {"pos", f.job.pos}});
+        const auto t0 = std::chrono::steady_clock::now();
+        runUnit(f, f.age, pool);
+        ModelMetrics::get().unit_busy_us.add(
+            static_cast<uint64_t>(microsSince(t0)));
+    } else {
+        runUnit(f, f.age, pool);
+    }
+}
 
+void
+ModelEngine::completeRound()
+{
+    PADE_CHECK(round_open_);
+    round_open_ = false;
+    if (!cfg_.pipeline) {
+        Flight f = std::move(flight_.front());
+        flight_.pop_front();
+        retire(std::move(f));
+        return;
+    }
     // Post-barrier, on the caller: age everyone, retire the front
     // when its last layer just ran. At most one token can retire per
     // round (ages are distinct), and it is always the oldest — tokens
@@ -220,6 +218,60 @@ ModelEngine::advance(ThreadPool *pool)
         flight_.pop_front();
         retire(std::move(f));
     }
+}
+
+bool
+ModelEngine::advance(ThreadPool *pool)
+{
+    const int n = collectUnits();
+    if (n == 0)
+        return false;
+    if (!cfg_.pipeline) {
+        runCollectedUnit(0, pool);
+        completeRound();
+        return true;
+    }
+
+    // The systolic round: every in-flight token at its own layer.
+    // Ages are pairwise distinct (strictly decreasing front to back),
+    // so the units touch disjoint engines/buffers — see file comment.
+    const obs::ScopedSpan round_span("model.round",
+                                     {{"flights", n}});
+    const bool fanout = pool && pool->threadCount() > 1 && n > 1;
+    int width = 1;
+    if constexpr (obs::kTelemetryEnabled) {
+        if (fanout) {
+            // Honest capacity width: workers this round can actually
+            // claim, not min(threads, n). When the pool is shared —
+            // the per-session batcher fans sessions over the same
+            // pool that runs these units — most workers are busy
+            // with OTHER sessions' rounds, and charging their time
+            // as idle capacity would overstate the bubble ratio.
+            // Subtract the occupants seen at round start (minus this
+            // caller's own slot when it runs inside a pool task).
+            const int busy_others = std::max(
+                0,
+                pool->busyWorkers() - (ThreadPool::inTask() ? 1 : 0));
+            width =
+                std::clamp(pool->threadCount() - busy_others, 1, n);
+        }
+    }
+    const auto round_t0 = std::chrono::steady_clock::now();
+    const auto unit = [&](int i) { runCollectedUnit(i, pool); };
+    if (fanout)
+        parallelFor(*pool, n, unit);
+    else
+        for (int i = 0; i < n; i++)
+            unit(i);
+    if constexpr (obs::kTelemetryEnabled) {
+        ModelMetrics &m = ModelMetrics::get();
+        m.rounds.add(1);
+        m.units.add(static_cast<uint64_t>(n));
+        m.round_capacity_us.add(
+            static_cast<uint64_t>(width) *
+            static_cast<uint64_t>(microsSince(round_t0)));
+    }
+    completeRound();
     return true;
 }
 

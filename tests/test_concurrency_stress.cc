@@ -59,21 +59,55 @@ stressTrace(int requests, uint64_t seed)
 }
 
 ServingReport
-runStress(const std::vector<ServingRequest> &trace, int threads)
+runStress(const std::vector<ServingRequest> &trace, int threads,
+          bool coschedule = true, bool windowed = false)
 {
     BatcherOptions opt;
     opt.threads = threads;
     opt.max_active = 6; // > threads for 2, < for 8: both schedules
     opt.prefill_chunk = 8;
+    opt.layers = 2; // >1 so pipeline rounds expose multiple units
     opt.heads = 4;
     opt.kv_heads = 2; // GQA: grouped heads share one cache
     opt.head_dim = 32;
     opt.page_tokens = 16; // small pages => frequent page turnover
+    opt.coschedule = coschedule;
+    if (windowed) {
+        // Tight sink+recency window: long prompts stream through it,
+        // so the windowed scan order and the middle-page reclamation
+        // are genuinely exercised, under contention.
+        opt.retention.sink_tokens = 16;
+        opt.retention.recency_tokens = 32;
+    }
     // Deterministic virtual clock: co-residency (and so peak KV
     // bytes) must be a pure function of the trace, not of how long
     // rounds happened to take on a loaded host.
     opt.fixed_round_ms = 0.25;
     return ContinuousBatcher(opt).run(trace);
+}
+
+/** Field-by-field schedule equivalence of two reports on one trace. */
+void
+expectReportsIdentical(const ServingReport &a, const ServingReport &b,
+                       std::size_t requests)
+{
+    ASSERT_EQ(a.sessions.size(), requests);
+    ASSERT_EQ(b.sessions.size(), requests);
+    EXPECT_EQ(a.checksum, b.checksum);
+    EXPECT_EQ(a.prefill_checksum, b.prefill_checksum);
+    for (std::size_t i = 0; i < requests; i++) {
+        EXPECT_EQ(a.sessions[i].checksum, b.sessions[i].checksum)
+            << "session " << i;
+        EXPECT_EQ(a.sessions[i].prefill_checksum,
+                  b.sessions[i].prefill_checksum)
+            << "session " << i;
+    }
+    EXPECT_EQ(a.tokens_decoded, b.tokens_decoded);
+    EXPECT_EQ(a.tokens_prefilled, b.tokens_prefilled);
+    EXPECT_EQ(a.peak_cache_bytes, b.peak_cache_bytes);
+    EXPECT_EQ(a.peak_active, b.peak_active);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_GT(a.peak_cache_bytes, 0u);
 }
 
 TEST(ConcurrencyStress, BatcherManySessionsIdenticalAtThreads2And8)
@@ -113,6 +147,55 @@ TEST(ConcurrencyStress, BatcherRepeatedRoundsStayDeterministic)
         const ServingReport again = runStress(trace, 8);
         EXPECT_EQ(again.checksum, first.checksum);
         EXPECT_EQ(again.prefill_checksum, first.prefill_checksum);
+    }
+}
+
+TEST(ConcurrencyStress, CoscheduledMatchesPerSessionAtThreads128)
+{
+    // The co-scheduler's differential oracle: same trace, same fixed
+    // virtual clock — the co-scheduled global waves must reproduce
+    // the per-session schedule's outputs AND its schedule-derived
+    // aggregates (peak KV bytes, peak co-residency, round count)
+    // exactly, at every thread count. Units of distinct sessions are
+    // disjoint and each engine sees its own round sequence either
+    // way, so any mismatch is a real sharing bug.
+    const std::vector<ServingRequest> trace = stressTrace(12, 515);
+    for (const int threads : {1, 2, 8}) {
+        SCOPED_TRACE(threads);
+        const ServingReport per =
+            runStress(trace, threads, /*coschedule=*/false);
+        const ServingReport co =
+            runStress(trace, threads, /*coschedule=*/true);
+        expectReportsIdentical(per, co, trace.size());
+    }
+}
+
+TEST(ConcurrencyStress, CoscheduledWindowedRetentionMatchesPerSession)
+{
+    // Windowed decode (sink+recency scan order, O(window) scratch)
+    // under co-scheduling, against the per-session oracle with the
+    // same retention policy: eviction decisions, page reclamation,
+    // and the windowed scan must all be schedule-invariant. Under
+    // TSan this also races the windowed path's per-head scratch
+    // against the global wave fan-out. Streams must outgrow the
+    // 16+32-token window for eviction to actually happen, so this
+    // trace uses longer prompts than stressTrace().
+    TraceSpec ts;
+    ts.num_requests = 8;
+    ts.rate_per_s = 8000.0;
+    ts.prompt_min = 48;
+    ts.prompt_max = 96;
+    ts.decode_min = 6;
+    ts.decode_max = 12;
+    ts.seed = 90210;
+    const std::vector<ServingRequest> trace = poissonArrivalTrace(ts);
+    for (const int threads : {2, 8}) {
+        SCOPED_TRACE(threads);
+        const ServingReport per = runStress(
+            trace, threads, /*coschedule=*/false, /*windowed=*/true);
+        const ServingReport co = runStress(
+            trace, threads, /*coschedule=*/true, /*windowed=*/true);
+        expectReportsIdentical(per, co, trace.size());
     }
 }
 

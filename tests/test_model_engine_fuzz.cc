@@ -31,6 +31,7 @@
 
 #include "common/rng.h"
 #include "core/pade_attention.h"
+#include "serving/decode_engine.h"
 #include "core/simd/qk_dispatch.h"
 #include "runtime/thread_pool.h"
 #include "serving/model_engine.h"
@@ -75,7 +76,9 @@ struct TrialConfig
 {
     ModelSpec spec;
     int page_tokens = 16;
-    bool retention = false;
+    /** Sink+recency eviction; .enabled() (recency > 0) turns the
+     *  window-aware decode scan order on. */
+    RetentionPolicy retention;
     QkKernel kernel = QkKernel::kScalar;
     std::vector<int> chunks; //!< prefill chunk split of prompt_len
 
@@ -89,7 +92,8 @@ struct TrialConfig
            << " prompt=" << spec.prompt_len
            << " decode=" << spec.decode_steps
            << " prefix=" << spec.prefix_len
-           << " page=" << page_tokens << " retention=" << retention
+           << " page=" << page_tokens << " retention="
+           << retention.sink_tokens << "/" << retention.recency_tokens
            << " kernel=" << static_cast<int>(kernel);
         return os.str();
     }
@@ -107,10 +111,7 @@ engineConfig(const TrialConfig &t, bool pipeline)
     mc.layer.bits = t.spec.bits;
     mc.layer.page_tokens = t.page_tokens;
     mc.layer.pade.qk_kernel = t.kernel;
-    if (t.retention) {
-        mc.layer.retention.sink_tokens = t.page_tokens;
-        mc.layer.retention.recency_tokens = 2 * t.page_tokens;
-    }
+    mc.layer.retention = t.retention;
     return mc;
 }
 
@@ -265,7 +266,10 @@ drawTrial(uint64_t seed, bool with_prefix)
     // Retention exercises middle-page reclamation under the pipeline;
     // keep it off prefix trials' donors so every prefix page stays
     // resident for publication.
-    t.retention = !with_prefix && rng.bernoulli(0.25);
+    if (!with_prefix && rng.bernoulli(0.25)) {
+        t.retention.sink_tokens = t.page_tokens;
+        t.retention.recency_tokens = 2 * t.page_tokens;
+    }
     if (with_prefix) {
         // Room for at least one whole shared page plus a private
         // suffix.
@@ -402,6 +406,140 @@ TEST(ModelEngineFuzz, AdoptedPrefixMatchesPrivateDecode)
                     << "token " << adopted.tokens[j].pos
                     << " threads=" << threads;
             }
+        }
+    }
+}
+
+/**
+ * The windowed scan order is by definition a filter of the full
+ * order: for any (seq_len, tile, head_tail, sink, window_start) —
+ * out-of-range live bounds included, the overload clamps — the 5-arg
+ * istaScanOrderInto must emit exactly the subsequence of the 4-arg
+ * order whose keys satisfy `j < sink || j >= window_start`. That
+ * subsequence property is what lets DecodeEngine drop the per-key
+ * retention test from its scan loop, so it is fuzzed directly here.
+ */
+TEST(ModelEngineFuzz, WindowedScanOrderIsFilteredFullOrder)
+{
+    constexpr uint64_t kBase = 0x5ca12f117e2ULL;
+    constexpr int kTrials = 500;
+    std::vector<int> full;
+    std::vector<int> windowed;
+    std::vector<int> expect;
+    for (int i = 0; i < kTrials; i++) {
+        uint64_t state = kBase + static_cast<uint64_t>(i);
+        const uint64_t seed = splitMix64(state);
+        Rng rng(seed);
+        const int seq_len = static_cast<int>(rng.range(1, 300));
+        const int tile = static_cast<int>(rng.range(1, 40));
+        const bool head_tail = rng.bernoulli(0.5);
+        const int sink = static_cast<int>(rng.range(0, seq_len + 8));
+        const int win = static_cast<int>(rng.range(0, seq_len + 8));
+        std::ostringstream os;
+        os << "seed=" << seed << " seq=" << seq_len << " tile=" << tile
+           << " head_tail=" << head_tail << " sink=" << sink
+           << " win=" << win;
+        SCOPED_TRACE(os.str());
+
+        istaScanOrderInto(seq_len, tile, head_tail, full);
+        istaScanOrderInto(seq_len, tile, head_tail, sink, win,
+                          windowed);
+        const int live_sink = std::min(sink, seq_len);
+        const int live_win = std::min(win, seq_len);
+        expect.clear();
+        for (int j : full)
+            if (j < live_sink || j >= live_win)
+                expect.push_back(j);
+        EXPECT_EQ(windowed, expect);
+
+        // window_start = 0 keeps every key live: the windowed order
+        // must reproduce the full order verbatim (the nothing-evicted
+        // degenerate case the engine hits on short streams).
+        istaScanOrderInto(seq_len, tile, head_tail, sink, 0, windowed);
+        EXPECT_EQ(windowed, full);
+    }
+}
+
+/**
+ * A retention window wide enough to cover the whole stream never
+ * evicts, so the windowed engine — live-range scan order, touched-set
+ * scratch clearing and all — must be bit-identical to the same trial
+ * with retention disabled, including PruneStats.
+ */
+TEST(ModelEngineFuzz, CoveringWindowMatchesRetentionOff)
+{
+    constexpr uint64_t kBase = 0xc0ffee11aaULL;
+    constexpr int kTrials = 40;
+    for (int i = 0; i < kTrials; i++) {
+        uint64_t state = kBase + static_cast<uint64_t>(i);
+        const uint64_t seed = splitMix64(state);
+        TrialConfig t = drawTrial(seed, /*with_prefix=*/false);
+        t.retention = RetentionPolicy{};
+        if (t.spec.decode_steps == 0)
+            t.spec.decode_steps = 2; // exercise the decode scan too
+        SCOPED_TRACE(t.describe(seed));
+
+        const RunResult bare =
+            runModel(t, /*pipeline=*/true, /*threads=*/2, t.chunks);
+
+        TrialConfig covered = t;
+        uint64_t knob_state = seed ^ 0xc0;
+        Rng rng(splitMix64(knob_state));
+        covered.retention.sink_tokens = static_cast<int>(rng.range(0, 4));
+        covered.retention.recency_tokens =
+            t.spec.prompt_len + t.spec.decode_steps +
+            static_cast<int>(rng.range(1, 9));
+        const RunResult windowed = runModel(covered, /*pipeline=*/true,
+                                            /*threads=*/2, t.chunks);
+        expectRunsIdentical(bare, windowed, "covering-window");
+    }
+}
+
+/**
+ * Windowed (actually-evicting) streams are checksum-stable across
+ * everything that must not matter: the serial-vs-pipelined schedule
+ * at several thread counts, the prefill chunking, and the QK kernel
+ * (kScalar / kPopcount / kSimd are bit-identical by contract, and the
+ * live-range order must not break that).
+ */
+TEST(ModelEngineFuzz, WindowedRunStableAcrossKernelsChunksThreads)
+{
+    constexpr uint64_t kBase = 0x91d0e5caULL;
+    constexpr int kTrials = 30;
+    for (int i = 0; i < kTrials; i++) {
+        uint64_t state = kBase + static_cast<uint64_t>(i);
+        const uint64_t seed = splitMix64(state);
+        TrialConfig t = drawTrial(seed, /*with_prefix=*/false);
+        // Force an evicting window: sink + recency well inside the
+        // stream so middle keys actually die and the windowed order
+        // diverges from the full order.
+        t.retention.sink_tokens = t.page_tokens;
+        t.retention.recency_tokens = 2 * t.page_tokens;
+        t.spec.prompt_len =
+            std::max(t.spec.prompt_len, 4 * t.page_tokens + 5);
+        t.spec.decode_steps = std::max(t.spec.decode_steps, 3);
+        t.kernel = QkKernel::kScalar;
+        SCOPED_TRACE(t.describe(seed));
+        // (runModel feeds any prompt tail past t.chunks as one final
+        // chunk, so the grown prompt still has a valid split.)
+
+        const RunResult oracle =
+            runModel(t, /*pipeline=*/false, /*threads=*/1, t.chunks);
+        for (int threads : {1, 2, 8}) {
+            const RunResult piped =
+                runModel(t, /*pipeline=*/true, threads, t.chunks);
+            expectRunsIdentical(oracle, piped, "windowed-pipelined");
+        }
+        const std::vector<int> whole{t.spec.prompt_len};
+        const RunResult onechunk =
+            runModel(t, /*pipeline=*/true, 2, whole);
+        expectRunsIdentical(oracle, onechunk, "windowed-one-chunk");
+        for (QkKernel k : {QkKernel::kPopcount, QkKernel::kSimd}) {
+            TrialConfig alt = t;
+            alt.kernel = k;
+            const RunResult crossed =
+                runModel(alt, /*pipeline=*/true, 2, t.chunks);
+            expectRunsIdentical(oracle, crossed, "windowed-kernel");
         }
     }
 }
